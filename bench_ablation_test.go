@@ -1,0 +1,205 @@
+package repro
+
+// Ablation benchmarks for the design choices called out in DESIGN.md §6:
+// each isolates one knob of the collective-computing runtime and reports
+// the factor it is worth on a fixed mid-size workload.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adio"
+	"repro/internal/cc"
+	"repro/internal/climate"
+	"repro/internal/fabric"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// ablationRun executes one CC job on a 32-rank cluster over an interleaved
+// 3-D access and returns the virtual makespan and stats.
+func ablationRun(b *testing.B, mutate func(*cc.IO)) (float64, cc.Stats) {
+	b.Helper()
+	const nranks, rpn = 32, 8
+	env := sim.NewEnv()
+	w := mpi.NewWorld(env, nranks, fabric.Params{RanksPerNode: rpn})
+	fs := pfs.New(env, pfs.Params{})
+	ds, id, err := climate.NewDataset3D(fs, []int64{4096, 512, 512}, 40, 4<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comm := w.Comm()
+	sub := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{24, 512, 512}}
+	slabs := climate.SplitAlongDim(sub, 1, nranks)
+	var stats cc.Stats
+	cache := &adio.PlanCache{}
+	errs := make([]error, nranks)
+	w.Go(func(r *mpi.Rank) {
+		io := cc.IO{
+			DS: ds, VarID: id, Slab: slabs[r.Rank()],
+			Reduce:     cc.AllToOne,
+			Params:     adio.Params{CB: 4 << 20, Pipeline: true, PlanCache: cache},
+			SecPerElem: 25e-9,
+			Stats:      &stats,
+		}
+		mutate(&io)
+		_, errs[r.Rank()] = cc.ObjectGetVara(r, comm, cl(fs, r), io, cc.Sum{})
+	})
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			b.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	return env.Now(), stats
+}
+
+func cl(fs *pfs.FS, r *mpi.Rank) *pfs.Client {
+	return fs.Client(r.Proc(), r.Rank(), nil)
+}
+
+// BenchmarkAblationPipeline measures what the non-blocking pipeline buys
+// over the blocking two-phase protocol within collective computing.
+func BenchmarkAblationPipeline(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on, _ = ablationRun(b, func(io *cc.IO) { io.Params.Pipeline = true; io.Params.PlanCache = &adio.PlanCache{} })
+		off, _ = ablationRun(b, func(io *cc.IO) { io.Params.Pipeline = false; io.Params.PlanCache = &adio.PlanCache{} })
+	}
+	b.ReportMetric(off/on, "pipeline-speedup")
+}
+
+// BenchmarkAblationReduceMode compares all-to-one and all-to-all reduces
+// (§III-C: all-to-all costs more communication).
+func BenchmarkAblationReduceMode(b *testing.B) {
+	var one, all float64
+	var oneStats, allStats cc.Stats
+	for i := 0; i < b.N; i++ {
+		one, oneStats = ablationRun(b, func(io *cc.IO) { io.Reduce = cc.AllToOne; io.Params.PlanCache = &adio.PlanCache{} })
+		all, allStats = ablationRun(b, func(io *cc.IO) { io.Reduce = cc.AllToAll; io.Params.PlanCache = &adio.PlanCache{} })
+	}
+	b.ReportMetric(all/one, "all2all/all2one-time")
+	if oneStats.ShuffleBytes >= 0 && allStats.ShuffleBytes > 0 {
+		b.ReportMetric(float64(allStats.ShuffleBytes)/1024, "all2all-shuffle-KB")
+	}
+	_ = one
+}
+
+// BenchmarkAblationAggregators sweeps the aggregator count.
+func BenchmarkAblationAggregators(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		k := k
+		b.Run(benchName("aggr", k), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t, _ = ablationRun(b, func(io *cc.IO) {
+					io.Aggregators = adio.SpreadAggregators(32, k)
+					io.Params.PlanCache = &adio.PlanCache{}
+				})
+			}
+			b.ReportMetric(t, "virtual-s")
+		})
+	}
+}
+
+// BenchmarkAblationBufferSize sweeps the collective buffer size (ties to
+// Figure 12: larger buffers mean fewer iterations and less metadata, but
+// coarser pipelining).
+func BenchmarkAblationBufferSize(b *testing.B) {
+	for _, mb := range []int64{1, 4, 16} {
+		mb := mb
+		b.Run(benchName("cbMB", int(mb)), func(b *testing.B) {
+			var t float64
+			var st cc.Stats
+			for i := 0; i < b.N; i++ {
+				t, st = ablationRun(b, func(io *cc.IO) {
+					io.Params.CB = mb << 20
+					io.Params.PlanCache = &adio.PlanCache{}
+				})
+			}
+			b.ReportMetric(t, "virtual-s")
+			b.ReportMetric(float64(st.MetadataBytes)/1024, "metadata-KB")
+		})
+	}
+}
+
+// BenchmarkAblationCoalescing measures the logical-map coalescing
+// optimization (Figure 8 construction): metadata and subset counts with and
+// without merging adjacent rectangles.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	var with, without cc.Stats
+	for i := 0; i < b.N; i++ {
+		_, with = ablationRun(b, func(io *cc.IO) { io.NoCoalesce = false; io.Params.PlanCache = &adio.PlanCache{} })
+		_, without = ablationRun(b, func(io *cc.IO) { io.NoCoalesce = true; io.Params.PlanCache = &adio.PlanCache{} })
+	}
+	if with.MetadataBytes > 0 {
+		b.ReportMetric(float64(without.MetadataBytes)/float64(with.MetadataBytes), "metadata-factor")
+		b.ReportMetric(float64(without.Subsets)/float64(with.Subsets), "subset-factor")
+	}
+}
+
+// BenchmarkAblationMapParallelism measures the node-parallel map assumption
+// (DESIGN.md substitution note): serial aggregator map vs node-wide map.
+func BenchmarkAblationMapParallelism(b *testing.B) {
+	var node, serial float64
+	for i := 0; i < b.N; i++ {
+		node, _ = ablationRun(b, func(io *cc.IO) { io.MapParallelism = 0; io.Params.PlanCache = &adio.PlanCache{} })
+		serial, _ = ablationRun(b, func(io *cc.IO) { io.MapParallelism = 1; io.Params.PlanCache = &adio.PlanCache{} })
+	}
+	b.ReportMetric(serial/node, "serial-map-slowdown")
+}
+
+func benchName(k string, v int) string {
+	return fmt.Sprintf("%s%d", k, v)
+}
+
+// BenchmarkAblationStraggler measures robustness to storage noise: one OST
+// serving 8x slower (a Lustre straggler). Collective computing inherits
+// two-phase I/O's resilience — aggregators not touching the straggler
+// proceed, and the pipeline hides part of the slow reads.
+func BenchmarkAblationStraggler(b *testing.B) {
+	run := func(straggle bool, block bool) float64 {
+		const nranks, rpn = 32, 8
+		env := sim.NewEnv()
+		w := mpi.NewWorld(env, nranks, fabric.Params{RanksPerNode: rpn})
+		fs := pfs.New(env, pfs.Params{})
+		if straggle {
+			fs.SlowOST(3, 8)
+		}
+		ds, id, err := climate.NewDataset3D(fs, []int64{4096, 512, 512}, 40, 4<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comm := w.Comm()
+		sub := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{24, 512, 512}}
+		slabs := climate.SplitAlongDim(sub, 1, nranks)
+		cache := &adio.PlanCache{}
+		w.Go(func(r *mpi.Rank) {
+			_, err := cc.ObjectGetVara(r, comm, cl(fs, r), cc.IO{
+				DS: ds, VarID: id, Slab: slabs[r.Rank()],
+				Block: block, Reduce: cc.AllToOne,
+				Params:     adio.Params{CB: 4 << 20, Pipeline: !block, PlanCache: cache},
+				SecPerElem: 25e-9,
+			}, cc.Sum{})
+			if err != nil {
+				b.Error(err)
+			}
+		})
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return env.Now()
+	}
+	var ccClean, ccNoisy, tradNoisy float64
+	for i := 0; i < b.N; i++ {
+		ccClean = run(false, false)
+		ccNoisy = run(true, false)
+		tradNoisy = run(true, true)
+	}
+	b.ReportMetric(ccNoisy/ccClean, "cc-noise-slowdown")
+	b.ReportMetric(tradNoisy/ccNoisy, "cc-vs-trad-under-noise")
+}

@@ -1,0 +1,139 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§IV). Each
+// runs its experiment end-to-end at a reduced scale (so `go test -bench=.`
+// finishes in seconds) and reports the experiment's headline quantity as a
+// custom metric. Run cmd/ccexp for paper-scale regeneration; EXPERIMENTS.md
+// records paper-vs-measured values.
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchCfg keeps every figure cheap enough for repeated -bench runs.
+var benchCfg = experiments.Config{Scale: 0.02, Quick: true}
+
+func runExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %q", id)
+	}
+	var tb *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tb, err = r.Run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// cellFloat parses a numeric table cell.
+func cellFloat(b *testing.B, tb *experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("%s[%d][%d] = %q", tb.ID, row, col, tb.Rows[row][col])
+	}
+	return v
+}
+
+// BenchmarkTableI regenerates Table I (static, quoted from the paper).
+func BenchmarkTableI(b *testing.B) {
+	tb := runExperiment(b, "table1")
+	b.ReportMetric(float64(len(tb.Rows)), "projects")
+}
+
+// BenchmarkFig1 regenerates the two-phase collective I/O profile and reports
+// the shuffle share of phase time (paper: ~20%).
+func BenchmarkFig1(b *testing.B) {
+	tb := runExperiment(b, "fig1")
+	var read, shuffle float64
+	for i := range tb.Rows {
+		read += cellFloat(b, tb, i, 1)
+		shuffle += cellFloat(b, tb, i, 2)
+	}
+	b.ReportMetric(100*shuffle/(read+shuffle), "shuffle-%")
+}
+
+// BenchmarkFig2 regenerates the collective-I/O CPU profile and reports the
+// mean user% (MPI busy-wait shows as user time, as on a real node).
+func BenchmarkFig2(b *testing.B) {
+	tb := runExperiment(b, "fig2")
+	var user float64
+	for i := range tb.Rows {
+		user += cellFloat(b, tb, i, 1)
+	}
+	b.ReportMetric(user/float64(len(tb.Rows)), "mean-user-%")
+}
+
+// BenchmarkFig3 regenerates the independent-I/O CPU profile and reports the
+// mean wait% (paper: independent I/O is wait-dominated).
+func BenchmarkFig3(b *testing.B) {
+	tb := runExperiment(b, "fig3")
+	var wait float64
+	for i := range tb.Rows {
+		wait += cellFloat(b, tb, i, 3)
+	}
+	b.ReportMetric(wait/float64(len(tb.Rows)), "mean-wait-%")
+}
+
+// BenchmarkFig9 regenerates the computation:I/O ratio sweep and reports the
+// peak speedup (paper: 2.44x at 1:1) and the 1:1 speedup.
+func BenchmarkFig9(b *testing.B) {
+	tb := runExperiment(b, "fig9")
+	var peak float64
+	for i := range tb.Rows {
+		if sp := cellFloat(b, tb, i, 3); sp > peak {
+			peak = sp
+		}
+	}
+	b.ReportMetric(peak, "peak-speedup")
+	b.ReportMetric(cellFloat(b, tb, 3, 3), "speedup@1:1")
+}
+
+// BenchmarkFig10 regenerates the weak-scaling sweep and reports the speedup
+// at the largest process count (paper: 1.7x at 1024).
+func BenchmarkFig10(b *testing.B) {
+	tb := runExperiment(b, "fig10")
+	b.ReportMetric(cellFloat(b, tb, len(tb.Rows)-1, 3), "speedup@max-procs")
+}
+
+// BenchmarkFig11 regenerates the overhead analysis and reports the ratio of
+// CC-40G to MPI-40G overhead at the smallest process count (paper: CC adds
+// no bottleneck).
+func BenchmarkFig11(b *testing.B) {
+	tb := runExperiment(b, "fig11")
+	mpi40 := cellFloat(b, tb, 0, 1)
+	cc40 := cellFloat(b, tb, 0, 2)
+	if mpi40 > 0 {
+		b.ReportMetric(cc40/mpi40, "cc/mpi-overhead")
+	}
+}
+
+// BenchmarkFig12 regenerates the metadata sweep and reports the reduction
+// factor from the smallest to the largest collective buffer.
+func BenchmarkFig12(b *testing.B) {
+	tb := runExperiment(b, "fig12")
+	first := cellFloat(b, tb, 0, 1)
+	last := cellFloat(b, tb, len(tb.Rows)-1, 1)
+	if last > 0 {
+		b.ReportMetric(first/last, "metadata-reduction")
+	}
+}
+
+// BenchmarkFig13 regenerates the WRF application test and reports the mean
+// speedup (paper: ~1.45x).
+func BenchmarkFig13(b *testing.B) {
+	tb := runExperiment(b, "fig13")
+	var sum float64
+	for i := range tb.Rows {
+		sum += cellFloat(b, tb, i, 3)
+	}
+	b.ReportMetric(sum/float64(len(tb.Rows)), "mean-speedup")
+}

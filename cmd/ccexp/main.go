@@ -1,0 +1,65 @@
+// Command ccexp regenerates the paper's tables and figures on the simulated
+// cluster.
+//
+// Usage:
+//
+//	ccexp [-scale 0.1] [-quick] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13 ...]
+//
+// With no experiment arguments it lists the available experiments. -scale
+// multiplies the real data volume streamed through the simulator (1.0 =
+// paper scale); protocol parameters (process counts, aggregators, buffer
+// sizes) always match the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "data-volume scale relative to the paper (1.0 = full)")
+	quick := flag.Bool("quick", false, "shrink process counts too (smoke test)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ccexp [flags] all|<experiment> ...\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexperiments:\n")
+		for _, r := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", r.ID, r.Name)
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Quick: *quick}
+
+	var runners []experiments.Runner
+	for _, a := range args {
+		if a == "all" {
+			runners = experiments.All()
+			break
+		}
+		r, ok := experiments.ByID(a)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ccexp: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		runners = append(runners, r)
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tb, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccexp: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		tb.Fprint(os.Stdout)
+		fmt.Printf("(%s regenerated in %.1fs wall)\n\n", r.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,182 @@
+// Command ccrun executes one collective-computing job on the simulated
+// cluster from command-line flags: choose a workload (climate or wrf), an
+// access region, an operator, the I/O mode and the reduce mode, and compare
+// against the traditional baseline.
+//
+// Examples:
+//
+//	ccrun -workload climate -op mean -procs 64 -steps 32
+//	ccrun -workload wrf -task minslp -procs 48 -steps 96
+//	ccrun -workload climate -op maxloc -mode traditional
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adio"
+	"repro/internal/cc"
+	"repro/internal/climate"
+	"repro/internal/fabric"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+	"repro/internal/ncfile"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/wrf"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "climate", "workload: climate | wrf")
+		opName   = flag.String("op", "sum", "operator: sum|count|min|max|mean|minloc|maxloc (climate only)")
+		task     = flag.String("task", "minslp", "wrf task: minslp | maxwind")
+		procs    = flag.Int("procs", 48, "number of MPI ranks")
+		rpn      = flag.Int("rpn", 24, "ranks per node")
+		naggr    = flag.Int("aggregators", 0, "aggregator count (0 = one per node)")
+		steps    = flag.Int64("steps", 24, "time steps to analyze")
+		ny       = flag.Int64("ny", 512, "grid rows")
+		nx       = flag.Int64("nx", 512, "grid columns")
+		cb       = flag.Int64("cb", 4<<20, "collective buffer bytes")
+		mode     = flag.String("mode", "cc", "mode: cc | traditional | independent")
+		reduce   = flag.String("reduce", "all2one", "reduce: all2one | all2all")
+		spe      = flag.Float64("comp", 2e-8, "map compute cost per element (seconds)")
+		pipe     = flag.Bool("pipeline", true, "overlap reads with the shuffle")
+	)
+	flag.Parse()
+
+	if *steps < int64(*procs) && *ny < int64(*procs) {
+		fatal("need steps or ny >= procs to split the domain")
+	}
+
+	env := sim.NewEnv()
+	w := mpi.NewWorld(env, *procs, fabric.Params{RanksPerNode: *rpn})
+	fs := pfs.New(env, pfs.Params{})
+	comm := w.Comm()
+
+	var ds *ncfile.Dataset
+	var varID int
+	var op cc.Op
+	var slab layout.Slab
+	switch *workload {
+	case "climate":
+		var err error
+		ds, varID, err = climate.NewDataset3D(fs, []int64{max64(*steps, 1024), *ny, *nx}, 40, 4<<20)
+		check(err)
+		op, err = cc.OpByName(*opName)
+		check(err)
+		slab = layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{*steps, *ny, *nx}}
+	case "wrf":
+		storm := wrf.DefaultStorm(*steps, *ny, *nx)
+		d, err := wrf.NewDataset(fs, storm, 40, 4<<20)
+		check(err)
+		ds = d.DS
+		var tk wrf.Task
+		switch *task {
+		case "minslp":
+			tk = d.MinSLPTask()
+		case "maxwind":
+			tk = d.MaxWindTask()
+		default:
+			fatal("unknown wrf task %q", *task)
+		}
+		varID, op = tk.VarID, tk.Op
+		slab = d.FullSlab()
+		fmt.Printf("task: %s\n", tk.Name)
+	default:
+		fatal("unknown workload %q", *workload)
+	}
+
+	splitDim := 0
+	if slab.Count[0] < int64(*procs) {
+		splitDim = 1
+	}
+	slabs := climate.SplitAlongDim(slab, splitDim, *procs)
+
+	io := cc.IO{
+		DS: ds, VarID: varID,
+		Params:     adio.Params{CB: *cb, Pipeline: *pipe, PlanCache: &adio.PlanCache{}},
+		SecPerElem: *spe,
+		Stats:      &cc.Stats{},
+	}
+	switch *mode {
+	case "cc":
+	case "traditional":
+		io.Block = true
+	case "independent":
+		io.Mode = cc.Independent
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+	switch *reduce {
+	case "all2one":
+		io.Reduce = cc.AllToOne
+	case "all2all":
+		io.Reduce = cc.AllToAll
+	default:
+		fatal("unknown reduce %q", *reduce)
+	}
+	if *naggr > 0 {
+		io.Aggregators = adio.SpreadAggregators(*procs, *naggr)
+	}
+
+	var rootRes cc.Result
+	errs := make([]error, *procs)
+	w.Go(func(r *mpi.Rank) {
+		myIO := io
+		myIO.Slab = slabs[r.Rank()]
+		cl := fs.Client(r.Proc(), r.Rank(), nil)
+		var res cc.Result
+		res, errs[r.Rank()] = cc.ObjectGetVara(r, comm, cl, myIO, op)
+		if res.Root {
+			rootRes = res
+		}
+	})
+	check(env.Run())
+	for i, err := range errs {
+		if err != nil {
+			fatal("rank %d: %v", i, err)
+		}
+	}
+
+	fmt.Printf("mode=%s reduce=%s procs=%d op=%s\n", *mode, *reduce, *procs, op.Name())
+	fmt.Printf("result: %.6g\n", rootRes.Value)
+	if loc, ok := rootRes.State.(cc.Loc); ok && loc.Valid {
+		fmt.Printf("at coordinates: %v\n", loc.Coords)
+	}
+	fmt.Printf("virtual makespan: %.4fs\n", env.Now())
+	st := io.Stats
+	if st.MapElements > 0 {
+		fmt.Printf("map: %d elements, %.4fs; construction %.4fs; local reduce %.4fs\n",
+			st.MapElements, st.MapSeconds, st.ConstructSeconds, st.LocalReduceSeconds)
+		fmt.Printf("shuffle: %d partial-result bytes vs %d raw bytes (%.1fx reduction), metadata %d bytes in %d records\n",
+			st.ShuffleBytes, st.RawBytes, safeDiv(st.RawBytes, st.ShuffleBytes),
+			st.MetadataBytes, st.IntermediateRecords)
+	}
+}
+
+func safeDiv(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ccrun: "+format+"\n", args...)
+	os.Exit(1)
+}

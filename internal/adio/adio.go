@@ -1,0 +1,384 @@
+package adio
+
+import (
+	"fmt"
+
+	"repro/internal/datatype"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// Request is one rank's access request: sorted disjoint byte runs in the
+// file and a destination (or source, for writes) buffer holding the runs'
+// bytes concatenated in file order. Buf must have length TotalLength(Runs).
+type Request struct {
+	Runs []layout.Run
+	Buf  []byte
+}
+
+// Validate checks internal consistency.
+func (rq Request) Validate() error {
+	if err := validateRuns(rq.Runs); err != nil {
+		return err
+	}
+	if n := layout.TotalLength(rq.Runs); int64(len(rq.Buf)) != n {
+		return fmt.Errorf("adio: buffer %d bytes for %d requested", len(rq.Buf), n)
+	}
+	return nil
+}
+
+func validateRuns(runs []layout.Run) error {
+	for i, r := range runs {
+		if r.Length <= 0 || r.Offset < 0 {
+			return fmt.Errorf("adio: run %d = %+v invalid", i, r)
+		}
+		if i > 0 && r.Offset < runs[i-1].End() {
+			return fmt.Errorf("adio: runs not sorted/disjoint at %d", i)
+		}
+	}
+	return nil
+}
+
+// shuffleMsg carries the pieces one aggregator sends one owner in one
+// iteration of the raw-data shuffle phase.
+type shuffleMsg struct {
+	pieces []shufflePiece
+	bytes  int64
+}
+
+type shufflePiece struct {
+	off  int64 // absolute file offset
+	data []byte
+}
+
+// Payload is a caller-supplied replacement for one owner's shuffle message
+// in one iteration — the mechanism collective computing uses to ship partial
+// results instead of raw data.
+type Payload struct {
+	Data  interface{}
+	Bytes int64
+}
+
+// Hooks customizes the two-phase read for collective computing
+// (internal/cc). With a nil *Hooks the protocol is plain ROMIO.
+type Hooks struct {
+	// Transform runs on an aggregator after iteration data lands in the
+	// collective buffer ext (covering [it.ReadLo, it.ReadHi)) and before the
+	// shuffle. The returned map replaces the outgoing raw messages: owners
+	// with pieces this iteration receive their Payload instead of bytes.
+	// Owners present in it.Pieces but absent from the map receive nothing —
+	// only allowed when SuppressShuffle is set.
+	Transform func(aggrIdx, iter int, it *Iter, ext []byte) map[int]Payload
+	// OnRecv consumes transformed payloads on the owners (including the
+	// aggregator's own, delivered locally without network cost).
+	OnRecv func(owner int, payload interface{}, bytes int64)
+	// SuppressShuffle disables all per-iteration shuffle traffic: Transform
+	// is still called (it accumulates state aggregator-side), but nothing is
+	// sent or received — the all-to-one reduce of the paper's §III-C.
+	SuppressShuffle bool
+}
+
+// ExchangeRequests allgathers every rank's offset list (phase 0 of two-phase
+// I/O) and returns the per-comm-rank run lists. The modeled message size is
+// 16 bytes per run, as ROMIO exchanges (offset, length) pairs.
+func ExchangeRequests(r *mpi.Rank, c *mpi.Comm, runs []layout.Run) [][]layout.Run {
+	// ROMIO first allgathers counts, then the lists themselves; both
+	// exchanges are modeled.
+	myBytes := int64(16 * len(runs))
+	all := c.Allgatherv(r, runs, perMemberBytes(c, r, myBytes))
+	out := make([][]layout.Run, c.Size())
+	for i, v := range all {
+		if v != nil {
+			out[i] = v.([]layout.Run)
+		}
+	}
+	return out
+}
+
+// perMemberBytes gathers each member's payload size so Allgatherv can cost
+// messages correctly.
+func perMemberBytes(c *mpi.Comm, r *mpi.Rank, mine int64) []int64 {
+	all := c.Allgather(r, mine, 8)
+	out := make([]int64, len(all))
+	for i, v := range all {
+		out[i] = v.(int64)
+	}
+	return out
+}
+
+// CollectiveRead performs a two-phase collective read. Every member of c
+// must call it (SPMD) with its own request (possibly empty). On return,
+// rq.Buf holds the requested bytes. aggrs lists the aggregator comm ranks;
+// pass nil for ROMIO's default of one per node.
+func CollectiveRead(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
+	rq Request, aggrs []int, p Params) error {
+	p = p.Defaults()
+	if err := rq.Validate(); err != nil {
+		return err
+	}
+	if aggrs == nil {
+		aggrs = DefaultAggregators(c.Size(), r.World().Net().Params().RanksPerNode)
+	}
+	reqs := ExchangeRequests(r, c, rq.Runs)
+	pl := SharedPlan(p.PlanCache, reqs, aggrs, p.CB, p.Align)
+	return CollectiveReadPlanned(r, c, cl, f, rq, pl, p, nil)
+}
+
+// SharedPlan builds the plan, or returns the one already built by an earlier
+// rank of the same collective call when a cache is provided. Every rank
+// derives an identical plan from the allgathered requests, so sharing the
+// physical object changes nothing observable; virtual plan-build CPU time is
+// still charged per rank by CollectiveReadPlanned.
+func SharedPlan(cache *PlanCache, reqs [][]layout.Run, aggrs []int, cb, align int64) *Plan {
+	if cache != nil && cache.pl != nil {
+		return cache.pl
+	}
+	pl := BuildPlan(reqs, aggrs, cb, align)
+	if cache != nil {
+		cache.pl = pl
+	}
+	return pl
+}
+
+// CollectiveReadPlanned runs the two-phase read protocol against a
+// caller-built plan, optionally customized by hooks (see internal/cc).
+// Every member of c must call it with the same plan and parameters.
+func CollectiveReadPlanned(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
+	rq Request, pl *Plan, p Params, hooks *Hooks) error {
+	p = p.Defaults()
+	if hooks == nil {
+		if err := rq.Validate(); err != nil {
+			return err
+		}
+	} else {
+		if err := validateRuns(rq.Runs); err != nil {
+			return err
+		}
+		if hooks.Transform == nil {
+			return fmt.Errorf("adio: hooks without Transform")
+		}
+		if hooks.OnRecv == nil && !hooks.SuppressShuffle {
+			return fmt.Errorf("adio: transformed shuffle without OnRecv")
+		}
+	}
+	r.Sys(float64(pl.TotalRuns()) * p.PlanCost)
+	tagBase := c.ReserveTags(r, pl.MaxIters+1)
+	me := c.RankOf(r)
+	if p.Pipeline {
+		return twoPhaseReadPipelined(r, c, cl, f, rq, pl, me, tagBase, p, hooks)
+	}
+	return twoPhaseReadBlocking(r, c, cl, f, rq, pl, me, tagBase, p, hooks)
+}
+
+// aggShuffle sends iteration it's data to its owners: raw pieces packed from
+// ext, or the transformed payloads when hooks are active. Local data (owner
+// == me) bypasses the network. Returns the send requests to wait on.
+func aggShuffle(r *mpi.Rank, c *mpi.Comm, pl *Plan, me int, tag int,
+	it *Iter, ext []byte, rq *Request, p Params, hooks *Hooks,
+	transformed map[int]Payload) []*mpi.Request {
+	var reqs []*mpi.Request
+	i := 0
+	for i < len(it.Pieces) {
+		owner := it.Pieces[i].Owner
+		j := i
+		var total int64
+		for j < len(it.Pieces) && it.Pieces[j].Owner == owner {
+			total += it.Pieces[j].Run.Length
+			j++
+		}
+		if hooks != nil {
+			pay, ok := transformed[owner]
+			if ok {
+				if owner == me {
+					hooks.OnRecv(owner, pay.Data, pay.Bytes)
+				} else {
+					reqs = append(reqs, r.Isend(c.WorldRank(owner), tag, pay.Data, pay.Bytes))
+				}
+			} else if !hooks.SuppressShuffle {
+				panic(fmt.Sprintf("adio: Transform omitted owner %d in iteration with its data", owner))
+			}
+		} else if owner == me {
+			// Local raw data: unpack straight into my buffer.
+			for _, pc := range it.Pieces[i:j] {
+				src := ext[pc.Run.Offset-it.ReadLo : pc.Run.End()-it.ReadLo]
+				copy(rq.Buf[pl.BufPos(me, pc.Run.Offset):], src)
+			}
+			r.Sys(float64(total)/p.PackRate + float64(j-i)*p.PieceCost)
+		} else {
+			msg := shuffleMsg{bytes: total}
+			for _, pc := range it.Pieces[i:j] {
+				src := ext[pc.Run.Offset-it.ReadLo : pc.Run.End()-it.ReadLo]
+				data := make([]byte, len(src))
+				copy(data, src)
+				msg.pieces = append(msg.pieces, shufflePiece{off: pc.Run.Offset, data: data})
+			}
+			// Pack cost: bytes plus a per-fragment charge.
+			r.Sys(float64(total)/p.PackRate + float64(j-i)*p.PieceCost)
+			reqs = append(reqs, r.Isend(c.WorldRank(owner), tag, msg, total))
+		}
+		i = j
+	}
+	return reqs
+}
+
+// recvIter receives every message owner `me` expects in iteration k,
+// unpacking raw pieces into rq.Buf or handing transformed payloads to
+// hooks.OnRecv. expectPos is the cursor into pl.Expect(me); the updated
+// cursor is returned.
+func recvIter(r *mpi.Rank, c *mpi.Comm, pl *Plan, me, k, tag, expectPos int,
+	rq *Request, p Params, hooks *Hooks) int {
+	exp := pl.Expect(me)
+	for expectPos < len(exp) && exp[expectPos].It == k {
+		e := exp[expectPos]
+		if pl.Aggrs[e.Aggr] == me {
+			// Served by my own aggregator role with a local copy in aggShuffle.
+			expectPos++
+			continue
+		}
+		src := c.WorldRank(pl.Aggrs[e.Aggr])
+		v, n := r.Recv(src, tag)
+		if hooks != nil {
+			hooks.OnRecv(me, v, n)
+		} else {
+			msg := v.(shuffleMsg)
+			for _, pc := range msg.pieces {
+				copy(rq.Buf[pl.BufPos(me, pc.off):], pc.data)
+			}
+			r.Sys(float64(n)/p.PackRate + float64(len(msg.pieces))*p.PieceCost)
+		}
+		expectPos++
+	}
+	return expectPos
+}
+
+func twoPhaseReadBlocking(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
+	rq Request, pl *Plan, me, tagBase int, p Params, hooks *Hooks) error {
+	aggrIdx := pl.AggrIndex(me)
+	var buf []byte
+	if aggrIdx >= 0 {
+		buf = make([]byte, p.CB)
+	}
+	receiving := hooks == nil || !hooks.SuppressShuffle
+	expectPos := 0
+	for k := 0; k < pl.MaxIters; k++ {
+		tag := tagBase - k
+		if aggrIdx >= 0 && k < len(pl.Iters[aggrIdx]) {
+			it := &pl.Iters[aggrIdx][k]
+			if !it.Empty() {
+				ext := buf[:it.ReadHi-it.ReadLo]
+				t0 := r.Now()
+				cl.ReadSparse(f, ext, it.ReadLo, pieceRuns(it))
+				tRead := r.Now()
+				var transformed map[int]Payload
+				if hooks != nil {
+					transformed = hooks.Transform(aggrIdx, k, it, ext)
+				}
+				if hooks == nil || !hooks.SuppressShuffle {
+					r.WaitAll(aggShuffle(r, c, pl, me, tag, it, ext, &rq, p, hooks, transformed))
+				}
+				if p.Obs != nil {
+					p.Obs.ObserveIter(aggrIdx, k, tRead-t0, r.Now()-tRead, it.ReadHi-it.ReadLo)
+				}
+			}
+		}
+		if receiving {
+			expectPos = recvIter(r, c, pl, me, k, tag, expectPos, &rq, p, hooks)
+		}
+	}
+	return nil
+}
+
+// twoPhaseReadPipelined overlaps each iteration's shuffle with the next
+// iteration's read using double buffering, the "nonblocking" collective I/O
+// configuration profiled in the paper's Figure 1.
+func twoPhaseReadPipelined(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
+	rq Request, pl *Plan, me, tagBase int, p Params, hooks *Hooks) error {
+	aggrIdx := pl.AggrIndex(me)
+	var bufs [2][]byte
+	myIters := 0
+	if aggrIdx >= 0 {
+		bufs[0] = make([]byte, p.CB)
+		bufs[1] = make([]byte, p.CB)
+		myIters = len(pl.Iters[aggrIdx])
+	}
+
+	// Prefetch state: at most one read in flight. Double buffering is keyed
+	// by read sequence number (not iteration parity) so the in-flight read
+	// never targets the buffer the current shuffle reads from.
+	readSeq := 0
+	nextRead := 0 // next iteration index to consider for prefetch
+	pendingIter := -1
+	var pendingDone float64
+	var pendingExt []byte
+
+	issueNext := func() {
+		for nextRead < myIters && pl.Iters[aggrIdx][nextRead].Empty() {
+			nextRead++
+		}
+		if nextRead >= myIters {
+			return
+		}
+		it := &pl.Iters[aggrIdx][nextRead]
+		pendingExt = bufs[readSeq%2][:it.ReadHi-it.ReadLo]
+		pendingDone = cl.ReadSparseAsync(f, pendingExt, it.ReadLo, pieceRuns(it))
+		pendingIter = nextRead
+		readSeq++
+		nextRead++
+	}
+
+	if aggrIdx >= 0 {
+		issueNext()
+	}
+	receiving := hooks == nil || !hooks.SuppressShuffle
+	expectPos := 0
+	for k := 0; k < pl.MaxIters; k++ {
+		tag := tagBase - k
+		if aggrIdx >= 0 && k < myIters && !pl.Iters[aggrIdx][k].Empty() {
+			it := &pl.Iters[aggrIdx][k]
+			if pendingIter != k {
+				return fmt.Errorf("adio: pipeline lost iteration %d (pending %d)", k, pendingIter)
+			}
+			t0 := r.Now()
+			cl.AwaitIO(pendingDone)
+			tRead := r.Now()
+			ext := pendingExt
+			pendingIter = -1
+			// Start the next read before shuffling this iteration: the
+			// overlap that makes the protocol non-blocking.
+			issueNext()
+			var transformed map[int]Payload
+			if hooks != nil {
+				transformed = hooks.Transform(aggrIdx, k, it, ext)
+			}
+			if hooks == nil || !hooks.SuppressShuffle {
+				r.WaitAll(aggShuffle(r, c, pl, me, tag, it, ext, &rq, p, hooks, transformed))
+			}
+			if p.Obs != nil {
+				p.Obs.ObserveIter(aggrIdx, k, tRead-t0, r.Now()-tRead, it.ReadHi-it.ReadLo)
+			}
+		}
+		if receiving {
+			expectPos = recvIter(r, c, pl, me, k, tag, expectPos, &rq, p, hooks)
+		}
+	}
+	return nil
+}
+
+// pieceRuns lists an iteration's piece byte ranges for sparse reading.
+func pieceRuns(it *Iter) []layout.Run {
+	runs := make([]layout.Run, len(it.Pieces))
+	for i, pc := range it.Pieces {
+		runs[i] = pc.Run
+	}
+	return runs
+}
+
+// RequestFromType builds a Request from a derived datatype instantiated at
+// file offset base — the entry path for MPI-shaped code that describes its
+// non-contiguous access with datatypes rather than hyperslabs. The returned
+// request owns a freshly allocated buffer of exactly the datatype's size.
+func RequestFromType(t datatype.Type, base int64) Request {
+	runs := datatype.Flatten(t, base)
+	return Request{Runs: runs, Buf: make([]byte, layout.TotalLength(runs))}
+}

@@ -1,0 +1,97 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out := Line([]Series{
+		{Name: "read", Points: []float64{1, 2, 3, 4}},
+		{Name: "shuffle", Points: []float64{0.5, 0.5, 0.5, 0.5}},
+	}, 40, 8)
+	if !strings.Contains(out, "* read") || !strings.Contains(out, "+ shuffle") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+2 { // grid + axis + legend
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Max label on the top row, min on the bottom grid row.
+	if !strings.Contains(lines[0], "4") {
+		t.Fatalf("top label missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[7], "0.5") {
+		t.Fatalf("bottom label missing: %q", lines[7])
+	}
+	// The rising series occupies different rows.
+	var starRows []int
+	for y, l := range lines[:8] {
+		if strings.ContainsRune(l, '*') {
+			starRows = append(starRows, y)
+		}
+	}
+	if len(starRows) < 3 {
+		t.Fatalf("rising series flat: rows %v\n%s", starRows, out)
+	}
+}
+
+func TestLineEmptyAndDegenerate(t *testing.T) {
+	if out := Line(nil, 40, 8); !strings.Contains(out, "no data") {
+		t.Fatal(out)
+	}
+	// Constant series must not divide by zero.
+	out := Line([]Series{{Name: "c", Points: []float64{5, 5, 5}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+	// Single point.
+	out = Line([]Series{{Name: "p", Points: []float64{1}}}, 20, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestLineClampsTinyGeometry(t *testing.T) {
+	out := Line([]Series{{Name: "x", Points: []float64{1, 2}}}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"1:1", "1:2"}, []float64{2.0, 1.0}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d rows", len(lines))
+	}
+	long := strings.Count(lines[0], "█")
+	short := strings.Count(lines[1], "█")
+	if long != 20 || short != 10 {
+		t.Fatalf("bar lengths %d/%d, want 20/10\n%s", long, short, out)
+	}
+	if !strings.Contains(lines[0], "2") || !strings.Contains(lines[1], "1") {
+		t.Fatal("values not printed")
+	}
+}
+
+func TestBarsEdgeCases(t *testing.T) {
+	if out := Bars([]string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "mismatch") {
+		t.Fatal(out)
+	}
+	if out := Bars(nil, nil, 10); !strings.Contains(out, "no data") {
+		t.Fatal(out)
+	}
+	// All-zero values must not divide by zero.
+	out := Bars([]string{"z"}, []float64{0}, 10)
+	if !strings.Contains(out, "z") {
+		t.Fatal(out)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	s := []Series{{Name: "a", Points: []float64{3, 1, 4, 1, 5}}}
+	if Line(s, 30, 6) != Line(s, 30, 6) {
+		t.Fatal("line chart not deterministic")
+	}
+}

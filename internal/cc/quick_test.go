@@ -1,0 +1,124 @@
+package cc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+)
+
+// subsetCase is a generated 1-D subset with bounded values.
+type subsetCase struct {
+	Sub Subset
+}
+
+// Generate implements quick.Generator.
+func (subsetCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 1 + rng.Intn(32)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64()*200 - 100
+	}
+	return reflect.ValueOf(subsetCase{Subset{
+		Slab: layout.Slab{Start: []int64{int64(rng.Intn(8))}, Count: []int64{int64(n)}},
+		Data: data,
+	}})
+}
+
+func eqState(op Op, a, b State) bool {
+	// Compare through Value plus, for histograms, the full vector.
+	if x, ok := a.([]int64); ok {
+		return reflect.DeepEqual(x, b)
+	}
+	va, vb := op.Value(a), op.Value(b)
+	if math.IsNaN(va) && math.IsNaN(vb) {
+		return true
+	}
+	if va == vb {
+		return true
+	}
+	d := math.Abs(va - vb)
+	return d <= 1e-9*math.Max(math.Abs(va), math.Abs(vb))
+}
+
+// algebraOps are the operators whose reduce algebra quick-checks below.
+func algebraOps() []Op {
+	return []Op{Sum{}, Count{}, Min{}, Max{}, Mean{}, MinLoc{}, MaxLoc{},
+		Variance{}, Histogram{Lo: -100, Hi: 100, Bins: 7}}
+}
+
+// Property (testing/quick): Merge is commutative for every operator.
+func TestQuickMergeCommutative(t *testing.T) {
+	for _, op := range algebraOps() {
+		op := op
+		f := func(a, b subsetCase) bool {
+			x := op.Absorb(op.Zero(), a.Sub)
+			y := op.Absorb(op.Zero(), b.Sub)
+			return eqState(op, op.Merge(x, y), op.Merge(y, x))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", op.Name(), err)
+		}
+	}
+}
+
+// Property (testing/quick): Merge is associative for every operator.
+func TestQuickMergeAssociative(t *testing.T) {
+	for _, op := range algebraOps() {
+		op := op
+		f := func(a, b, c subsetCase) bool {
+			x := op.Absorb(op.Zero(), a.Sub)
+			y := op.Absorb(op.Zero(), b.Sub)
+			z := op.Absorb(op.Zero(), c.Sub)
+			return eqState(op, op.Merge(op.Merge(x, y), z), op.Merge(x, op.Merge(y, z)))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", op.Name(), err)
+		}
+	}
+}
+
+// Property (testing/quick): Zero is the identity of Merge.
+func TestQuickMergeIdentity(t *testing.T) {
+	for _, op := range algebraOps() {
+		op := op
+		f := func(a subsetCase) bool {
+			x := op.Absorb(op.Zero(), a.Sub)
+			return eqState(op, op.Merge(x, op.Zero()), x) &&
+				eqState(op, op.Merge(op.Zero(), x), x)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", op.Name(), err)
+		}
+	}
+}
+
+// Property (testing/quick): absorbing a split subset equals absorbing it
+// whole — the exact property the map-in-the-middle runtime relies on when
+// collective-buffer iterations fragment a request.
+func TestQuickAbsorbSplitEquivalence(t *testing.T) {
+	for _, op := range algebraOps() {
+		op := op
+		f := func(a subsetCase, cutRaw uint8) bool {
+			n := int64(len(a.Sub.Data))
+			cut := int64(cutRaw) % (n + 1)
+			whole := op.Absorb(op.Zero(), a.Sub)
+			left := Subset{
+				Slab: layout.Slab{Start: []int64{a.Sub.Slab.Start[0]}, Count: []int64{cut}},
+				Data: a.Sub.Data[:cut],
+			}
+			right := Subset{
+				Slab: layout.Slab{Start: []int64{a.Sub.Slab.Start[0] + cut}, Count: []int64{n - cut}},
+				Data: a.Sub.Data[cut:],
+			}
+			split := op.Merge(op.Absorb(op.Zero(), left), op.Absorb(op.Zero(), right))
+			return eqState(op, whole, split)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", op.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package cc
+
+import (
+	"fmt"
+
+	"repro/internal/adio"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+	"repro/internal/ncfile"
+	"repro/internal/pfs"
+)
+
+// Mode selects the I/O strategy of an object I/O (paper Figure 6,
+// io.mode).
+type Mode uint8
+
+const (
+	// Collective uses two-phase collective I/O.
+	Collective Mode = iota
+	// Independent uses per-rank I/O with data sieving; collective computing
+	// does not apply (there is no shuffle to optimize), so the computation
+	// runs after the read as in the traditional workflow.
+	Independent
+)
+
+// ReduceMode selects how intermediate results are reduced (paper §III-C).
+type ReduceMode uint8
+
+const (
+	// AllToOne ships every intermediate result to the root at the end; the
+	// per-process partials are constructed and reduced there.
+	AllToOne ReduceMode = iota
+	// AllToAll shuffles intermediate results to their owning processes
+	// during the second phase (mirroring the raw shuffle's message
+	// pattern); each process reduces locally, then a final reduce gathers
+	// the per-process results at the root.
+	AllToAll
+)
+
+// IO is the object I/O descriptor: the access region, the I/O mode, and the
+// runtime knobs, grouped as in paper Figure 6. The computation (Op) is
+// passed alongside to ObjectGetVara, mirroring
+// ncmpi_object_get_vara_float(io, op).
+type IO struct {
+	DS    *ncfile.Dataset
+	VarID int
+	// Slab is this rank's access region (start/count per dimension).
+	Slab layout.Slab
+	// Mode selects collective vs independent I/O.
+	Mode Mode
+	// Block, when true, disables collective computing: I/O completes first,
+	// then the computation runs — the traditional MPI workflow of paper
+	// Figure 5 and the baseline of every experiment.
+	Block bool
+	// Reduce selects all-to-one or all-to-all intermediate reduction.
+	Reduce ReduceMode
+	// Aggregators lists aggregator comm ranks; nil = one per node.
+	Aggregators []int
+	// Root is the comm rank receiving the final result.
+	Root int
+	// Params tunes the underlying two-phase protocol.
+	Params adio.Params
+	// SecPerElem is the virtual CPU cost of the map per element, the knob
+	// behind the paper's computation:I/O ratio sweeps.
+	SecPerElem float64
+	// MapParallelism is the number of cores the in-place map can use on an
+	// aggregator's node. During the I/O phase the node's non-aggregator
+	// ranks are idle, so the map on the aggregated block is spread over the
+	// node's cores — without this the paper's configuration (5 aggregators
+	// serving 120 processes) could not reach its reported speedups, since
+	// the map work would concentrate 24x on the aggregator core. 0 means
+	// one core per rank on the node (fabric RanksPerNode). Set 1 for the
+	// serial-map ablation.
+	MapParallelism int
+	// NoCoalesce disables merging adjacent logical subsets during the
+	// construction (Figure 8); kept for the metadata-overhead ablation.
+	NoCoalesce bool
+	// Stats, when non-nil, accumulates runtime accounting across all ranks.
+	Stats *Stats
+	// LocalState, when non-nil and Reduce is AllToAll, receives this rank's
+	// own reduced partial state after the shuffle and before the final
+	// reduce — the "further processing on the results, locally" that the
+	// paper gives as the reason to keep the all-to-all mode (§III-C).
+	LocalState func(State)
+}
+
+// Result is the outcome of an object I/O on one rank.
+type Result struct {
+	// Value is the final scalar, available on every rank.
+	Value float64
+	// State is the final merged state (valid on the root; nil elsewhere).
+	State State
+	// Root reports whether this rank was the reduction root.
+	Root bool
+}
+
+// Stats accumulates collective-computing accounting across ranks. The
+// simulation kernel runs ranks one at a time, so plain fields are safe.
+type Stats struct {
+	// MapElements is the number of elements folded by the map phase.
+	MapElements int64
+	// MapSeconds is virtual CPU time spent in the map.
+	MapSeconds float64
+	// ConstructSeconds is time spent reconstructing logical subsets and
+	// decoding values (the paper's "logical construction" overhead).
+	ConstructSeconds float64
+	// LocalReduceSeconds is time merging intermediate results before the
+	// final reduce — the paper's "local reduction" overhead (Figure 11).
+	LocalReduceSeconds float64
+	// FinalReduceSeconds is time in the final cross-process reduce.
+	FinalReduceSeconds float64
+	// MetadataBytes is the coordinate+owner metadata attached to
+	// intermediate results (Figure 12).
+	MetadataBytes int64
+	// IntermediateRecords counts (aggregator, iteration, owner) partials.
+	IntermediateRecords int64
+	// Subsets counts logical subsets produced by the construction.
+	Subsets int64
+	// ShuffleBytes is the partial-result traffic actually shuffled.
+	ShuffleBytes int64
+	// RawBytes is the raw data the unmodified shuffle would have moved.
+	RawBytes int64
+}
+
+// constructCostPerSubset is the CPU cost charged per reconstructed logical
+// subset (coordinate arithmetic + metadata indexing).
+const constructCostPerSubset = 100e-9
+
+// mergeCost is the CPU cost charged per partial-result merge.
+const mergeCost = 150e-9
+
+// partialMsg is the intermediate-result message of the modified shuffle.
+type partialMsg struct {
+	state   State
+	records int64
+	mdBytes int64
+}
+
+// ObjectGetVara executes the object I/O with the given operator — the
+// ncmpi_object_get_vara of paper Figure 6. Every member of c must call it
+// (SPMD). The final Value is broadcast to all members.
+func ObjectGetVara(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Result, error) {
+	if io.DS == nil {
+		return Result{}, fmt.Errorf("cc: nil dataset")
+	}
+	if _, err := io.DS.Var(io.VarID); err != nil {
+		return Result{}, err
+	}
+	if io.Root < 0 || io.Root >= c.Size() {
+		return Result{}, fmt.Errorf("cc: root %d out of range", io.Root)
+	}
+	if io.Block || io.Mode == Independent {
+		return runTraditional(r, c, cl, io, op)
+	}
+	return runCollectiveComputing(r, c, cl, io, op)
+}
+
+// runTraditional is the paper's Figure 5 baseline: finish the I/O, then
+// compute, then MPI_Reduce.
+func runTraditional(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Result, error) {
+	var vals []float64
+	var err error
+	if io.Mode == Independent {
+		vals, err = io.DS.GetVara(cl, io.VarID, io.Slab, io.Params)
+		if err == nil {
+			// Independent I/O still synchronizes before the reduce.
+			c.Barrier(r)
+		}
+	} else {
+		vals, err = io.DS.GetVaraAll(r, c, cl, io.VarID, io.Slab, io.Aggregators, io.Params)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	// Computation stage: the whole local subset at once.
+	r.Compute(float64(len(vals)) * io.SecPerElem)
+	if io.Stats != nil {
+		io.Stats.MapElements += int64(len(vals))
+		io.Stats.MapSeconds += float64(len(vals)) * io.SecPerElem
+	}
+	st := op.Absorb(op.Zero(), Subset{Slab: io.Slab, Data: vals})
+	return finalReduce(r, c, io, op, st)
+}
+
+// runCollectiveComputing is the paper's Figure 7 runtime: map inside the
+// two-phase iterations, shuffle partial results, reduce.
+func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Result, error) {
+	v, _ := io.DS.Var(io.VarID)
+	runs, err := io.DS.ByteRuns(io.VarID, io.Slab)
+	if err != nil {
+		return Result{}, err
+	}
+	io.Params = io.Params.Defaults()
+	aggrs := io.Aggregators
+	if aggrs == nil {
+		aggrs = adio.DefaultAggregators(c.Size(), r.World().Net().Params().RanksPerNode)
+	}
+	reqs := adio.ExchangeRequests(r, c, runs)
+	pl := adio.SharedPlan(io.Params.PlanCache, reqs, aggrs, io.Params.CB, io.Params.Align)
+
+	me := c.RankOf(r)
+	sz := v.Type.Size()
+	elemBase := v.Offset
+	par := float64(io.MapParallelism)
+	if par <= 0 {
+		par = float64(r.World().Net().Params().RanksPerNode)
+	}
+
+	// Owner-side accumulated state (all-to-all) and aggregator-side
+	// per-owner accumulation (all-to-one).
+	myState := op.Zero()
+	var perOwner map[int]*partialMsg
+	if io.Reduce == AllToOne {
+		perOwner = make(map[int]*partialMsg)
+	}
+	var scratch []float64
+
+	transform := func(aggrIdx, iter int, it *adio.Iter, ext []byte) map[int]adio.Payload {
+		out := map[int]adio.Payload{}
+		pieces := it.Pieces
+		i := 0
+		for i < len(pieces) {
+			owner := pieces[i].Owner
+			j := i
+			for j < len(pieces) && pieces[j].Owner == owner {
+				j++
+			}
+			st := op.Zero()
+			var elems, mdBytes, subsets int64
+			t0 := r.Now()
+			for _, pc := range pieces[i:j] {
+				elemRun := layout.Run{
+					Offset: (pc.Run.Offset - elemBase) / sz,
+					Length: pc.Run.Length / sz,
+				}
+				slabs := layout.RunToSlabs(v.Dims, elemRun, !io.NoCoalesce)
+				raw := ext[pc.Run.Offset-it.ReadLo : pc.Run.End()-it.ReadLo]
+				scratch = ncfile.DecodeValues(v.Type, raw, scratch)
+				pos := int64(0)
+				// Construction cost: per subset plus the decode memcopy.
+				r.Sys(float64(len(slabs))*constructCostPerSubset +
+					float64(len(raw))/io.Params.PackRate)
+				t1 := r.Now()
+				if io.Stats != nil {
+					io.Stats.ConstructSeconds += t1 - t0
+				}
+				t0 = t1
+				for _, slab := range slabs {
+					n := slab.NumElems()
+					st = op.Absorb(st, Subset{Slab: slab, Data: scratch[pos : pos+n]})
+					pos += n
+				}
+				elems += elemRun.Length
+				mdBytes += layout.MetadataBytes(slabs)
+				subsets += int64(len(slabs))
+			}
+			// Map cost, spread across the node's idle cores.
+			r.Compute(float64(elems) * io.SecPerElem / par)
+			if io.Stats != nil {
+				io.Stats.MapElements += elems
+				io.Stats.MapSeconds += float64(elems) * io.SecPerElem / par
+				io.Stats.MetadataBytes += mdBytes
+				io.Stats.IntermediateRecords++
+				io.Stats.Subsets += subsets
+				io.Stats.RawBytes += elems * sz
+			}
+			switch io.Reduce {
+			case AllToOne:
+				t0 := r.Now()
+				p := perOwner[owner]
+				if p == nil {
+					p = &partialMsg{state: op.Zero()}
+					perOwner[owner] = p
+				}
+				p.state = op.Merge(p.state, st)
+				p.records++
+				p.mdBytes += mdBytes
+				r.Compute(mergeCost)
+				if io.Stats != nil {
+					io.Stats.LocalReduceSeconds += r.Now() - t0
+				}
+			default: // AllToAll: ship this iteration's partial to its owner.
+				bytes := op.StateBytes() + mdBytes
+				out[owner] = adio.Payload{
+					Data:  partialMsg{state: st, records: 1, mdBytes: mdBytes},
+					Bytes: bytes,
+				}
+				if io.Stats != nil {
+					io.Stats.ShuffleBytes += bytes
+				}
+			}
+			i = j
+		}
+		if io.Reduce == AllToOne {
+			return nil
+		}
+		return out
+	}
+
+	hooks := &adio.Hooks{Transform: transform}
+	if io.Reduce == AllToOne {
+		hooks.SuppressShuffle = true
+	} else {
+		hooks.OnRecv = func(owner int, payload interface{}, bytes int64) {
+			t0 := r.Now()
+			msg := payload.(partialMsg)
+			myState = op.Merge(myState, msg.state)
+			r.Compute(mergeCost)
+			if io.Stats != nil {
+				io.Stats.LocalReduceSeconds += r.Now() - t0
+			}
+		}
+	}
+
+	err = adio.CollectiveReadPlanned(r, c, cl, io.DS.File(), adio.Request{Runs: runs},
+		pl, io.Params, hooks)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if io.Reduce == AllToOne {
+		return allToOneFinish(r, c, io, op, pl, perOwner, me)
+	}
+	if io.LocalState != nil {
+		io.LocalState(myState)
+	}
+	return finalReduce(r, c, io, op, myState)
+}
+
+// allToOneFinish ships each aggregator's accumulated per-owner partials to
+// the root, which constructs per-process results and performs the final
+// reduce (paper §III-C).
+func allToOneFinish(r *mpi.Rank, c *mpi.Comm, io IO, op Op,
+	pl *adio.Plan, perOwner map[int]*partialMsg, me int) (Result, error) {
+	tag := c.ReserveTags(r, 1)
+	rootWorld := c.WorldRank(io.Root)
+	amAggr := pl.AggrIndex(me) >= 0
+
+	if me != io.Root {
+		if amAggr {
+			// One message carrying all my per-owner partials.
+			var bytes int64
+			for _, p := range perOwner {
+				bytes += p.records*op.StateBytes() + p.mdBytes
+			}
+			r.Send(rootWorld, tag, perOwner, bytes)
+			if io.Stats != nil {
+				io.Stats.ShuffleBytes += bytes
+			}
+		}
+		// Receive the broadcast final value below.
+		v := c.Bcast(r, io.Root, nil, 8)
+		return Result{Value: v.(float64)}, nil
+	}
+
+	// Root: merge own partials plus every other aggregator's.
+	t0 := r.Now()
+	merged := make(map[int]State) // per owner
+	absorb := func(po map[int]*partialMsg) {
+		for owner, p := range po {
+			if cur, ok := merged[owner]; ok {
+				merged[owner] = op.Merge(cur, p.state)
+			} else {
+				merged[owner] = p.state
+			}
+			r.Compute(mergeCost * float64(p.records))
+		}
+	}
+	if amAggr {
+		absorb(perOwner)
+	}
+	for _, a := range pl.Aggrs {
+		if a == me {
+			continue
+		}
+		v, _ := r.Recv(c.WorldRank(a), tag)
+		absorb(v.(map[int]*partialMsg))
+	}
+	// Final reduce over the constructed per-process results.
+	final := op.Zero()
+	for owner := 0; owner < c.Size(); owner++ {
+		if st, ok := merged[owner]; ok {
+			final = op.Merge(final, st)
+			r.Compute(mergeCost)
+		}
+	}
+	if io.Stats != nil {
+		io.Stats.FinalReduceSeconds += r.Now() - t0
+	}
+	val := op.Value(final)
+	c.Bcast(r, io.Root, val, 8)
+	return Result{Value: val, State: final, Root: true}, nil
+}
+
+// finalReduce runs the cross-process reduce of local states to the root and
+// broadcasts the scalar result.
+func finalReduce(r *mpi.Rank, c *mpi.Comm, io IO, op Op, st State) (Result, error) {
+	t0 := r.Now()
+	final := c.Reduce(r, io.Root, st, op.StateBytes(), func(a, b interface{}) interface{} {
+		r.Compute(mergeCost)
+		return op.Merge(a, b)
+	})
+	if io.Stats != nil {
+		io.Stats.FinalReduceSeconds += r.Now() - t0
+	}
+	isRoot := c.RankOf(r) == io.Root
+	var val float64
+	if isRoot {
+		val = op.Value(final)
+	}
+	v := c.Bcast(r, io.Root, val, 8)
+	res := Result{Value: v.(float64), Root: isRoot}
+	if isRoot {
+		res.State = final
+	} else {
+		res.Value = v.(float64)
+	}
+	return res, nil
+}

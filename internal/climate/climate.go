@@ -1,0 +1,156 @@
+// Package climate provides the synthetic climate datasets of the paper's
+// benchmark evaluation: the 4-D dataset profiled in Figure 1 and the 800 GB
+// benchmark dataset of Figures 9-12. Fields are generated on demand from
+// cheap deterministic functions (a table-driven seasonal cycle, a
+// latitudinal gradient, and hash jitter), so paper-scale virtual files cost
+// no memory and little CPU.
+package climate
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/ncfile"
+	"repro/internal/pfs"
+)
+
+// sinTable approximates one period of sin with 1024 samples; value functions
+// run per element on every synthetic read, so no math.Sin.
+var sinTable [1024]float64
+
+func init() {
+	// Bhaskara-like rational approximation, good to ~0.002 — plenty for a
+	// synthetic field, and cheap to build without importing math at
+	// runtime paths.
+	for i := range sinTable {
+		x := float64(i) / float64(len(sinTable)) // [0,1) of a period
+		// Piecewise parabola approximation of sin(2πx).
+		half := x
+		neg := false
+		if half >= 0.5 {
+			half -= 0.5
+			neg = true
+		}
+		t := half * 2 // [0,1) of a half-period
+		v := 4 * t * (1 - t)
+		if neg {
+			v = -v
+		}
+		sinTable[i] = v
+	}
+}
+
+func sin01(x float64) float64 {
+	x -= float64(int64(x))
+	if x < 0 {
+		x++
+	}
+	return sinTable[int(x*float64(len(sinTable)))&1023]
+}
+
+// hashJitter returns a deterministic pseudo-random value in [-0.5, 0.5).
+func hashJitter(coords []int64) float64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range coords {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return float64(h%4096)/4096 - 0.5
+}
+
+// Temperature4D is the value function of the 4-D climate variable
+// (Time, Lat, Level, Lon): a base climate with a seasonal cycle over time,
+// a latitudinal gradient, a lapse rate over levels, and local jitter.
+func Temperature4D(c []int64) float64 {
+	t, y, z, x := c[0], c[1], c[2], c[3]
+	seasonal := 12 * sin01(float64(t)/360)
+	latGrad := 30 - 0.05*float64(y)
+	lapse := -0.3 * float64(z)
+	lonWave := 3 * sin01(float64(x)/256)
+	return 15 + seasonal + latGrad + lapse + lonWave + 2*hashJitter(c)
+}
+
+// Temperature3D is a (Time, Lat, Lon) surface-temperature field.
+func Temperature3D(c []int64) float64 {
+	t, y, x := c[0], c[1], c[2]
+	seasonal := 12 * sin01(float64(t)/360)
+	latGrad := 30 - 0.05*float64(y)
+	lonWave := 3 * sin01(float64(x)/256)
+	return 15 + seasonal + latGrad + lonWave + 2*hashJitter(c)
+}
+
+// Paper4DDims are the Figure 1 dataset dimensions: 1024x1024x100x1024 in
+// our slowest-first convention (Time, Lat, Level, Lon) of float32 — ~400 GB.
+func Paper4DDims() []int64 { return []int64{1024, 1024, 100, 1024} }
+
+// Paper4DSubset is the Figure 1 access region, 100x100x10x720 slowest-first:
+// 720 elements along the fastest dimension, which the 72 processes split
+// into 10-element (40-byte) chunks — the fine-grained interleaving that
+// generates the paper's "large amounts of non-contiguous small requests"
+// and makes the shuffle phase a substantial share of each iteration.
+func Paper4DSubset() layout.Slab {
+	return layout.Slab{
+		Start: []int64{0, 0, 0, 0},
+		Count: []int64{100, 100, 10, 720},
+	}
+}
+
+// NewDataset4D creates the 4-D climate dataset ("temperature", float32, the
+// given dims) striped over stripeCount OSTs.
+func NewDataset4D(fs *pfs.FS, dims []int64, stripeCount int, stripeSize int64) (*ncfile.Dataset, int, error) {
+	if len(dims) != 4 {
+		return nil, 0, fmt.Errorf("climate: need 4 dims, got %d", len(dims))
+	}
+	var s ncfile.Schema
+	id, err := s.AddVar("temperature", ncfile.Float32, dims)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.AddGlobalAttr(ncfile.TextAttr("title", "synthetic 4-D climate dataset"))
+	s.AddVarAttr(id, ncfile.TextAttr("units", "degC"))
+	s.AddVarAttr(id, ncfile.TextAttr("dims", "time,lat,level,lon"))
+	ds, err := ncfile.SynthDataset(fs, "climate4d", &s, []ncfile.ValueFn{Temperature4D},
+		stripeCount, stripeSize, 0)
+	return ds, id, err
+}
+
+// NewDataset3D creates the 3-D benchmark dataset ("temperature", float32).
+func NewDataset3D(fs *pfs.FS, dims []int64, stripeCount int, stripeSize int64) (*ncfile.Dataset, int, error) {
+	if len(dims) != 3 {
+		return nil, 0, fmt.Errorf("climate: need 3 dims, got %d", len(dims))
+	}
+	var s ncfile.Schema
+	id, err := s.AddVar("temperature", ncfile.Float32, dims)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.AddGlobalAttr(ncfile.TextAttr("title", "synthetic 3-D surface climate dataset"))
+	s.AddVarAttr(id, ncfile.TextAttr("units", "degC"))
+	ds, err := ncfile.SynthDataset(fs, "climate3d", &s, []ncfile.ValueFn{Temperature3D},
+		stripeCount, stripeSize, 0)
+	return ds, id, err
+}
+
+// SplitAlongDim partitions slab among n ranks along dimension d
+// (remainder spread over the first ranks). Panics if Count[d] < n.
+func SplitAlongDim(slab layout.Slab, d, n int) []layout.Slab {
+	if slab.Count[d] < int64(n) {
+		panic(fmt.Sprintf("climate: cannot split %d across %d ranks", slab.Count[d], n))
+	}
+	out := make([]layout.Slab, n)
+	per := slab.Count[d] / int64(n)
+	rem := slab.Count[d] % int64(n)
+	pos := slab.Start[d]
+	for i := 0; i < n; i++ {
+		c := per
+		if int64(i) < rem {
+			c++
+		}
+		s := slab.Clone()
+		s.Start[d] = pos
+		s.Count[d] = c
+		out[i] = s
+		pos += c
+	}
+	return out
+}

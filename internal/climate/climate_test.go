@@ -1,0 +1,179 @@
+package climate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adio"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+
+	"repro/internal/fabric"
+)
+
+func TestSin01(t *testing.T) {
+	cases := []struct{ x, want, tol float64 }{
+		{0, 0, 0.01},
+		{0.25, 1, 0.01},
+		{0.5, 0, 0.01},
+		{0.75, -1, 0.01},
+		{1.25, 1, 0.01},  // periodicity
+		{-0.75, 1, 0.01}, // negative wrap
+	}
+	for _, c := range cases {
+		if got := sin01(c.x); math.Abs(got-c.want) > c.tol {
+			t.Errorf("sin01(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHashJitterDeterministicAndBounded(t *testing.T) {
+	a := hashJitter([]int64{1, 2, 3})
+	b := hashJitter([]int64{1, 2, 3})
+	if a != b {
+		t.Error("jitter not deterministic")
+	}
+	for i := int64(0); i < 1000; i++ {
+		v := hashJitter([]int64{i, i * 7, i * 13})
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("jitter %g out of range", v)
+		}
+	}
+}
+
+func TestTemperatureFieldsPlausible(t *testing.T) {
+	for i := int64(0); i < 500; i++ {
+		// (Time, Lat, Level, Lon)
+		c4 := []int64{i * 3 % 1024, i * 7 % 1024, i % 100, i * 11 % 1024}
+		v := Temperature4D(c4)
+		if v < -120 || v > 120 {
+			t.Fatalf("Temperature4D(%v) = %g implausible", c4, v)
+		}
+		c3 := []int64{c4[0], c4[1], c4[3]}
+		if v := Temperature3D(c3); v < -120 || v > 120 {
+			t.Fatalf("Temperature3D(%v) = %g implausible", c3, v)
+		}
+	}
+	// Poles colder than equator-side rows (latitudinal gradient).
+	warm := Temperature4D([]int64{0, 0, 0, 0})
+	cold := Temperature4D([]int64{0, 1000, 0, 0})
+	if warm <= cold {
+		t.Errorf("no latitudinal gradient: %g vs %g", warm, cold)
+	}
+	// Higher levels are colder (lapse rate).
+	sfc := Temperature4D([]int64{0, 100, 0, 0})
+	top := Temperature4D([]int64{0, 100, 99, 0})
+	if sfc <= top {
+		t.Errorf("no lapse rate: %g vs %g", sfc, top)
+	}
+}
+
+func TestPaperDims(t *testing.T) {
+	dims := Paper4DDims()
+	sub := Paper4DSubset()
+	if err := layout.Validate(dims, sub); err != nil {
+		t.Fatalf("paper subset invalid: %v", err)
+	}
+	if sub.NumElems() != 720*10*100*100 {
+		t.Fatalf("subset elems = %d", sub.NumElems())
+	}
+	var bytes int64 = 4
+	for _, d := range dims {
+		bytes *= d
+	}
+	if bytes < 400<<30 {
+		t.Fatalf("dataset %d bytes, expected ~400 GB", bytes)
+	}
+}
+
+func TestNewDatasetsReadBack(t *testing.T) {
+	env := sim.NewEnv()
+	w := mpi.NewWorld(env, 1, fabric.Params{})
+	fs := pfs.New(env, pfs.Params{NumOSTs: 4, DefaultStripeSize: 1 << 16})
+	ds4, id4, err := NewDataset4D(fs, []int64{8, 4, 16, 16}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds3, id3, err := NewDataset3D(fs, []int64{8, 16, 16}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Go(func(r *mpi.Rank) {
+		cl := fs.Client(r.Proc(), 0, nil)
+		got4, err := ds4.GetVara(cl, id4,
+			layout.Slab{Start: []int64{1, 1, 2, 3}, Count: []int64{2, 2, 2, 2}}, adio.Params{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		i := 0
+		for t0 := int64(1); t0 < 3; t0++ {
+			for z := int64(1); z < 3; z++ {
+				for y := int64(2); y < 4; y++ {
+					for x := int64(3); x < 5; x++ {
+						want := float64(float32(Temperature4D([]int64{t0, z, y, x})))
+						if got4[i] != want {
+							t.Errorf("4d[%d] = %g, want %g", i, got4[i], want)
+							return
+						}
+						i++
+					}
+				}
+			}
+		}
+		got3, err := ds3.GetVara(cl, id3,
+			layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{1, 1, 4}}, adio.Params{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for x := int64(0); x < 4; x++ {
+			want := float64(float32(Temperature3D([]int64{0, 0, x})))
+			if got3[x] != want {
+				t.Errorf("3d[%d] = %g, want %g", x, got3[x], want)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDatasetDimValidation(t *testing.T) {
+	env := sim.NewEnv()
+	fs := pfs.New(env, pfs.Params{NumOSTs: 2})
+	if _, _, err := NewDataset4D(fs, []int64{2, 2}, 1, 0); err == nil {
+		t.Error("wrong rank accepted for 4D")
+	}
+	if _, _, err := NewDataset3D(fs, []int64{2}, 1, 0); err == nil {
+		t.Error("wrong rank accepted for 3D")
+	}
+}
+
+func TestSplitAlongDim(t *testing.T) {
+	slab := layout.Slab{Start: []int64{4, 0}, Count: []int64{10, 7}}
+	parts := SplitAlongDim(slab, 0, 3)
+	var total int64
+	pos := int64(4)
+	for _, p := range parts {
+		if p.Start[0] != pos {
+			t.Fatalf("gap in split: %v", parts)
+		}
+		pos += p.Count[0]
+		total += p.NumElems()
+		if p.Count[1] != 7 || p.Start[1] != 0 {
+			t.Fatalf("other dim disturbed: %v", p)
+		}
+	}
+	if total != slab.NumElems() {
+		t.Fatalf("split covers %d of %d", total, slab.NumElems())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversplit did not panic")
+		}
+	}()
+	SplitAlongDim(layout.Slab{Start: []int64{0}, Count: []int64{2}}, 0, 5)
+}

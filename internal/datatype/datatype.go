@@ -1,0 +1,259 @@
+// Package datatype implements MPI-style derived datatypes: recursive
+// descriptions of non-contiguous memory/file layouts (contiguous blocks,
+// strided vectors, indexed block lists, N-dimensional subarrays, and structs
+// of typed fields). ROMIO's two-phase I/O consumes such types by
+// "flattening" them into (offset, length) lists; this package provides the
+// same flattening onto layout.Run, so MPI-shaped application code has a
+// faithful entry path into the adio layer alongside ncfile's hyperslabs.
+//
+// Offsets and sizes are in bytes. Types are immutable once built.
+package datatype
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Type is a derived datatype: a byte-layout template with a size (bytes of
+// actual data) and an extent (the span the template covers, used when the
+// type is repeated).
+type Type interface {
+	// Size returns the number of data bytes the type selects.
+	Size() int64
+	// Extent returns the span in bytes from the type's origin (byte 0 of
+	// the template) to the byte after its last selected position, holes
+	// included — the repetition footprint.
+	Extent() int64
+	// flatten appends the type's runs, displaced by base, to dst.
+	flatten(base int64, dst []layout.Run) []layout.Run
+	// count returns the number of runs the type flattens to.
+	count() int64
+}
+
+// Flatten converts a type instantiated at byte offset base into sorted,
+// coalesced runs — ROMIO's ADIOI_Flatten.
+func Flatten(t Type, base int64) []layout.Run {
+	runs := t.flatten(base, make([]layout.Run, 0, t.count()))
+	if len(runs) == 0 {
+		return nil
+	}
+	return layout.Coalesce(runs)
+}
+
+// Count returns the number of primitive runs before coalescing.
+func Count(t Type) int64 { return t.count() }
+
+// Contig is a contiguous block of n bytes (MPI_Type_contiguous over bytes).
+type Contig struct{ N int64 }
+
+// Bytes builds a contiguous block type.
+func Bytes(n int64) Type {
+	if n < 0 {
+		panic(fmt.Sprintf("datatype: negative size %d", n))
+	}
+	return Contig{N: n}
+}
+
+// Size implements Type.
+func (c Contig) Size() int64 { return c.N }
+
+// Extent implements Type.
+func (c Contig) Extent() int64 { return c.N }
+
+func (c Contig) count() int64 { return 1 }
+
+func (c Contig) flatten(base int64, dst []layout.Run) []layout.Run {
+	if c.N == 0 {
+		return dst
+	}
+	return append(dst, layout.Run{Offset: base, Length: c.N})
+}
+
+// Vector repeats an element Count times with a byte Stride between element
+// starts (MPI_Type_create_hvector).
+type Vector struct {
+	Count  int64
+	Stride int64
+	Elem   Type
+}
+
+// NewVector builds a vector type; stride must cover the element extent.
+func NewVector(count, stride int64, elem Type) (Type, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("datatype: vector count %d", count)
+	}
+	if stride < elem.Extent() {
+		return nil, fmt.Errorf("datatype: stride %d < element extent %d", stride, elem.Extent())
+	}
+	return Vector{Count: count, Stride: stride, Elem: elem}, nil
+}
+
+// Size implements Type.
+func (v Vector) Size() int64 { return v.Count * v.Elem.Size() }
+
+// Extent implements Type.
+func (v Vector) Extent() int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return (v.Count-1)*v.Stride + v.Elem.Extent()
+}
+
+func (v Vector) count() int64 { return v.Count * v.Elem.count() }
+
+func (v Vector) flatten(base int64, dst []layout.Run) []layout.Run {
+	for i := int64(0); i < v.Count; i++ {
+		dst = v.Elem.flatten(base+i*v.Stride, dst)
+	}
+	return dst
+}
+
+// Indexed places an element at each of a list of byte displacements
+// (MPI_Type_create_hindexed_block).
+type Indexed struct {
+	Disps []int64
+	Elem  Type
+}
+
+// NewIndexed builds an indexed type; displacements must be strictly
+// increasing with no overlap of consecutive elements.
+func NewIndexed(disps []int64, elem Type) (Type, error) {
+	for i, d := range disps {
+		if i > 0 && d < disps[i-1]+elem.Extent() {
+			return nil, fmt.Errorf("datatype: displacement %d overlaps previous element", d)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("datatype: negative displacement %d", d)
+		}
+	}
+	return Indexed{Disps: append([]int64(nil), disps...), Elem: elem}, nil
+}
+
+// Size implements Type.
+func (x Indexed) Size() int64 { return int64(len(x.Disps)) * x.Elem.Size() }
+
+// Extent implements Type.
+func (x Indexed) Extent() int64 {
+	if len(x.Disps) == 0 {
+		return 0
+	}
+	return x.Disps[len(x.Disps)-1] + x.Elem.Extent()
+}
+
+func (x Indexed) count() int64 { return int64(len(x.Disps)) * x.Elem.count() }
+
+func (x Indexed) flatten(base int64, dst []layout.Run) []layout.Run {
+	for _, d := range x.Disps {
+		dst = x.Elem.flatten(base+d, dst)
+	}
+	return dst
+}
+
+// Field is one member of a Struct: an element type at a byte displacement.
+type Field struct {
+	Disp int64
+	Elem Type
+}
+
+// Struct combines heterogeneous fields at fixed displacements
+// (MPI_Type_create_struct). Fields must be in increasing, non-overlapping
+// displacement order.
+type Struct struct {
+	Fields []Field
+}
+
+// NewStruct builds a struct type.
+func NewStruct(fields ...Field) (Type, error) {
+	for i, f := range fields {
+		if f.Disp < 0 {
+			return nil, fmt.Errorf("datatype: negative field displacement %d", f.Disp)
+		}
+		if i > 0 && f.Disp < fields[i-1].Disp+fields[i-1].Elem.Extent() {
+			return nil, fmt.Errorf("datatype: field %d overlaps previous", i)
+		}
+	}
+	return Struct{Fields: append([]Field(nil), fields...)}, nil
+}
+
+// Size implements Type.
+func (s Struct) Size() int64 {
+	var n int64
+	for _, f := range s.Fields {
+		n += f.Elem.Size()
+	}
+	return n
+}
+
+// Extent implements Type.
+func (s Struct) Extent() int64 {
+	if len(s.Fields) == 0 {
+		return 0
+	}
+	last := s.Fields[len(s.Fields)-1]
+	return last.Disp + last.Elem.Extent()
+}
+
+func (s Struct) count() int64 {
+	var n int64
+	for _, f := range s.Fields {
+		n += f.Elem.count()
+	}
+	return n
+}
+
+func (s Struct) flatten(base int64, dst []layout.Run) []layout.Run {
+	for _, f := range s.Fields {
+		dst = f.Elem.flatten(base+f.Disp, dst)
+	}
+	return dst
+}
+
+// Subarray selects an N-dimensional sub-block of an N-dimensional array of
+// fixed-size elements (MPI_Type_create_subarray, row-major order).
+type Subarray struct {
+	Dims     []int64 // full array, slowest-first
+	Start    []int64
+	Count    []int64
+	ElemSize int64
+}
+
+// NewSubarray builds a subarray type.
+func NewSubarray(dims, start, count []int64, elemSize int64) (Type, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("datatype: element size %d", elemSize)
+	}
+	if err := layout.Validate(dims, layout.Slab{Start: start, Count: count}); err != nil {
+		return nil, err
+	}
+	return Subarray{
+		Dims:  append([]int64(nil), dims...),
+		Start: append([]int64(nil), start...),
+		Count: append([]int64(nil), count...), ElemSize: elemSize,
+	}, nil
+}
+
+func (s Subarray) slab() layout.Slab { return layout.Slab{Start: s.Start, Count: s.Count} }
+
+// Size implements Type.
+func (s Subarray) Size() int64 { return s.slab().NumElems() * s.ElemSize }
+
+// Extent implements Type: MPI defines a subarray's extent as the full array.
+func (s Subarray) Extent() int64 { return layout.NumElemsOf(s.Dims) * s.ElemSize }
+
+func (s Subarray) count() int64 {
+	// One run per row of the innermost non-full dimensions; Flatten
+	// coalesces further. Upper bound: product of all but the fastest dim.
+	n := int64(1)
+	for _, c := range s.Count[:len(s.Count)-1] {
+		n *= c
+	}
+	return n
+}
+
+func (s Subarray) flatten(base int64, dst []layout.Run) []layout.Run {
+	for _, r := range layout.Flatten(s.Dims, s.slab()) {
+		dst = append(dst, layout.Run{Offset: base + r.Offset*s.ElemSize, Length: r.Length * s.ElemSize})
+	}
+	return dst
+}

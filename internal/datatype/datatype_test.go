@@ -1,0 +1,257 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+)
+
+func TestBytes(t *testing.T) {
+	b := Bytes(10)
+	if b.Size() != 10 || b.Extent() != 10 {
+		t.Fatalf("size/extent = %d/%d", b.Size(), b.Extent())
+	}
+	if got := Flatten(b, 100); !reflect.DeepEqual(got, []layout.Run{{Offset: 100, Length: 10}}) {
+		t.Fatalf("runs = %v", got)
+	}
+	if got := Flatten(Bytes(0), 100); got != nil {
+		t.Fatalf("zero type flattens to %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size accepted")
+		}
+	}()
+	Bytes(-1)
+}
+
+func TestVector(t *testing.T) {
+	v, err := NewVector(3, 8, Bytes(4)) // 4 bytes every 8: xxxx....xxxx....xxxx
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 12 || v.Extent() != 20 {
+		t.Fatalf("size/extent = %d/%d, want 12/20", v.Size(), v.Extent())
+	}
+	want := []layout.Run{{Offset: 0, Length: 4}, {Offset: 8, Length: 4}, {Offset: 16, Length: 4}}
+	if got := Flatten(v, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("runs = %v", got)
+	}
+	// Stride == extent: fully contiguous, coalesces to one run.
+	v2, _ := NewVector(3, 4, Bytes(4))
+	if got := Flatten(v2, 0); !reflect.DeepEqual(got, []layout.Run{{Offset: 0, Length: 12}}) {
+		t.Fatalf("contiguous vector = %v", got)
+	}
+	if _, err := NewVector(3, 2, Bytes(4)); err == nil {
+		t.Fatal("overlapping stride accepted")
+	}
+	if _, err := NewVector(-1, 8, Bytes(4)); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	x, err := NewIndexed([]int64{0, 10, 30}, Bytes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Size() != 15 || x.Extent() != 35 {
+		t.Fatalf("size/extent = %d/%d", x.Size(), x.Extent())
+	}
+	want := []layout.Run{{Offset: 7, Length: 5}, {Offset: 17, Length: 5}, {Offset: 37, Length: 5}}
+	if got := Flatten(x, 7); !reflect.DeepEqual(got, want) {
+		t.Fatalf("runs = %v", got)
+	}
+	if _, err := NewIndexed([]int64{0, 3}, Bytes(5)); err == nil {
+		t.Fatal("overlapping displacements accepted")
+	}
+	if _, err := NewIndexed([]int64{-1}, Bytes(5)); err == nil {
+		t.Fatal("negative displacement accepted")
+	}
+}
+
+func TestStruct(t *testing.T) {
+	s, err := NewStruct(
+		Field{Disp: 0, Elem: Bytes(8)},
+		Field{Disp: 16, Elem: Bytes(4)},
+		Field{Disp: 24, Elem: Bytes(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 14 || s.Extent() != 26 {
+		t.Fatalf("size/extent = %d/%d", s.Size(), s.Extent())
+	}
+	want := []layout.Run{{Offset: 0, Length: 8}, {Offset: 16, Length: 4}, {Offset: 24, Length: 2}}
+	if got := Flatten(s, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("runs = %v", got)
+	}
+	if _, err := NewStruct(Field{Disp: 0, Elem: Bytes(8)}, Field{Disp: 4, Elem: Bytes(4)}); err == nil {
+		t.Fatal("overlapping fields accepted")
+	}
+}
+
+func TestSubarrayMatchesLayoutFlatten(t *testing.T) {
+	dims := []int64{4, 6, 8}
+	start := []int64{1, 2, 3}
+	count := []int64{2, 3, 4}
+	sa, err := NewSubarray(dims, start, count, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Size() != 2*3*4*4 {
+		t.Fatalf("size = %d", sa.Size())
+	}
+	if sa.Extent() != 4*6*8*4 {
+		t.Fatalf("extent = %d", sa.Extent())
+	}
+	elemRuns := layout.Flatten(dims, layout.Slab{Start: start, Count: count})
+	var want []layout.Run
+	for _, r := range elemRuns {
+		want = append(want, layout.Run{Offset: 1000 + r.Offset*4, Length: r.Length * 4})
+	}
+	if got := Flatten(sa, 1000); !reflect.DeepEqual(got, layout.Coalesce(want)) {
+		t.Fatalf("runs = %v, want %v", got, want)
+	}
+	if _, err := NewSubarray(dims, start, []int64{9, 1, 1}, 4); err == nil {
+		t.Fatal("out-of-range subarray accepted")
+	}
+	if _, err := NewSubarray(dims, start, count, 0); err == nil {
+		t.Fatal("zero element size accepted")
+	}
+}
+
+// Nested composition: a vector of structs of vectors — the kind of layered
+// datatype real MPI applications build.
+func TestNestedComposition(t *testing.T) {
+	inner, _ := NewVector(2, 6, Bytes(2)) // xx....xx -> size 4, extent 8
+	st, err := NewStruct(
+		Field{Disp: 0, Elem: inner},
+		Field{Disp: 10, Elem: Bytes(3)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := NewVector(2, 20, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Size() != 2*(4+3) {
+		t.Fatalf("size = %d", outer.Size())
+	}
+	want := []layout.Run{
+		{Offset: 0, Length: 2}, {Offset: 6, Length: 2}, {Offset: 10, Length: 3},
+		{Offset: 20, Length: 2}, {Offset: 26, Length: 2}, {Offset: 30, Length: 3},
+	}
+	if got := Flatten(outer, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("runs = %v", got)
+	}
+	if Count(outer) != 6 {
+		t.Fatalf("count = %d", Count(outer))
+	}
+}
+
+// typeCase generates a random non-overlapping derived type for quick.Check.
+type typeCase struct {
+	T Type
+}
+
+// Generate implements quick.Generator.
+func (typeCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(typeCase{T: randomType(rng, 2)})
+}
+
+func randomType(rng *rand.Rand, depth int) Type {
+	if depth == 0 {
+		return Bytes(int64(1 + rng.Intn(16)))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Bytes(int64(1 + rng.Intn(16)))
+	case 1:
+		elem := randomType(rng, depth-1)
+		stride := elem.Extent() + int64(rng.Intn(8))
+		v, err := NewVector(int64(1+rng.Intn(4)), stride, elem)
+		if err != nil {
+			panic(err)
+		}
+		return v
+	case 2:
+		elem := randomType(rng, depth-1)
+		n := 1 + rng.Intn(4)
+		disps := make([]int64, n)
+		pos := int64(rng.Intn(4))
+		for i := range disps {
+			disps[i] = pos
+			pos += elem.Extent() + int64(rng.Intn(6))
+		}
+		x, err := NewIndexed(disps, elem)
+		if err != nil {
+			panic(err)
+		}
+		return x
+	default:
+		n := 1 + rng.Intn(3)
+		fields := make([]Field, n)
+		pos := int64(rng.Intn(4))
+		for i := range fields {
+			elem := randomType(rng, depth-1)
+			fields[i] = Field{Disp: pos, Elem: elem}
+			pos += elem.Extent() + int64(rng.Intn(6))
+		}
+		s, err := NewStruct(fields...)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+// Property (testing/quick): flattened runs are sorted, disjoint, total
+// exactly Size() bytes, and stay within [base, base+Extent()).
+func TestQuickFlattenInvariants(t *testing.T) {
+	f := func(c typeCase, baseRaw uint16) bool {
+		base := int64(baseRaw)
+		runs := Flatten(c.T, base)
+		if layout.TotalLength(runs) != c.T.Size() {
+			return false
+		}
+		for i, r := range runs {
+			if r.Offset < base || r.End() > base+c.T.Extent() {
+				return false
+			}
+			if i > 0 && r.Offset <= runs[i-1].End() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): flattening at base b equals flattening at 0
+// displaced by b.
+func TestQuickFlattenTranslationInvariant(t *testing.T) {
+	f := func(c typeCase, baseRaw uint16) bool {
+		base := int64(baseRaw)
+		at0 := Flatten(c.T, 0)
+		atB := Flatten(c.T, base)
+		if len(at0) != len(atB) {
+			return false
+		}
+		for i := range at0 {
+			if atB[i].Offset != at0[i].Offset+base || atB[i].Length != at0[i].Length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package fabric models the interconnect of a cluster: per-message latency,
+// link bandwidth, and per-node NIC serialization (injection/ejection
+// contention shared by all ranks on a node). Intra-node transfers bypass the
+// NIC and use a memory-copy cost instead.
+//
+// The model is deliberately topology-free: the paper's results depend on
+// message volume and message count, which a latency/bandwidth/NIC model
+// captures, not on the Gemini mesh's routing detail.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describes the interconnect. Zero values are replaced by Hopper-like
+// defaults via Defaults.
+type Params struct {
+	// Latency is the end-to-end per-message latency between nodes (seconds).
+	Latency float64
+	// Bandwidth is the point-to-point link bandwidth (bytes/second).
+	Bandwidth float64
+	// NICBandwidth is the per-node injection/ejection bandwidth shared by
+	// all ranks on the node (bytes/second).
+	NICBandwidth float64
+	// MemLatency and MemBandwidth cost intra-node transfers.
+	MemLatency   float64
+	MemBandwidth float64
+	// RanksPerNode places rank r on node r/RanksPerNode.
+	RanksPerNode int
+	// SendOverhead is the CPU time a sender spends injecting a message
+	// (seconds), charged even for non-blocking sends.
+	SendOverhead float64
+}
+
+// Defaults fills unset fields with values resembling the paper's Cray XE6
+// (Gemini interconnect, 24 ranks/node).
+func (p Params) Defaults() Params {
+	if p.Latency == 0 {
+		p.Latency = 2e-6
+	}
+	if p.Bandwidth == 0 {
+		p.Bandwidth = 3e9
+	}
+	if p.NICBandwidth == 0 {
+		// Effective per-node MPI injection bandwidth under many concurrent
+		// transfers — far below the Gemini link peak, as measured in
+		// practice on XE6-class machines.
+		p.NICBandwidth = 1.5e9
+	}
+	if p.MemLatency == 0 {
+		p.MemLatency = 3e-7
+	}
+	if p.MemBandwidth == 0 {
+		p.MemBandwidth = 12e9
+	}
+	if p.RanksPerNode == 0 {
+		p.RanksPerNode = 24
+	}
+	if p.SendOverhead == 0 {
+		p.SendOverhead = 5e-7
+	}
+	return p
+}
+
+// Network computes transfer completion times between ranks and tracks
+// aggregate traffic statistics.
+type Network struct {
+	env    *sim.Env
+	params Params
+	tx     []*sim.Resource // per-node injection NIC
+	rx     []*sim.Resource // per-node ejection NIC
+
+	// Stats.
+	Messages      int64
+	BytesOnWire   int64 // inter-node bytes
+	BytesIntra    int64 // intra-node bytes
+	InterMessages int64
+}
+
+// New builds a network for nranks ranks in env. Params are defaulted.
+func New(env *sim.Env, nranks int, p Params) *Network {
+	p = p.Defaults()
+	nodes := (nranks + p.RanksPerNode - 1) / p.RanksPerNode
+	if nodes == 0 {
+		nodes = 1
+	}
+	n := &Network{env: env, params: p}
+	n.tx = make([]*sim.Resource, nodes)
+	n.rx = make([]*sim.Resource, nodes)
+	for i := range n.tx {
+		n.tx[i] = env.NewResource(fmt.Sprintf("nic-tx%d", i))
+		n.rx[i] = env.NewResource(fmt.Sprintf("nic-rx%d", i))
+	}
+	return n
+}
+
+// Params returns the (defaulted) parameters in use.
+func (n *Network) Params() Params { return n.params }
+
+// Node returns the node hosting rank r.
+func (n *Network) Node(r int) int { return r / n.params.RanksPerNode }
+
+// Nodes returns the number of nodes in the network.
+func (n *Network) Nodes() int { return len(n.tx) }
+
+// Transfer computes the delivery of size bytes from rank src to rank dst,
+// starting no earlier than `at`. It returns:
+//
+//	senderFree — when the sender's CPU is free again (injection done),
+//	ready      — when the payload is fully available at the receiver.
+//
+// Transfer reserves NIC resources, so concurrent transfers through the same
+// node serialize; it does not block any process — callers model blocking by
+// sleeping until senderFree and/or ready.
+func (n *Network) Transfer(src, dst int, size int64, at float64) (senderFree, ready float64) {
+	p := n.params
+	n.Messages++
+	if size < 0 {
+		size = 0
+	}
+	if n.Node(src) == n.Node(dst) {
+		n.BytesIntra += size
+		done := at + p.SendOverhead + p.MemLatency + float64(size)/p.MemBandwidth
+		return at + p.SendOverhead, done
+	}
+	n.BytesOnWire += size
+	n.InterMessages++
+	txStart := at + p.SendOverhead
+	_, txEnd := n.tx[n.Node(src)].Reserve(txStart, float64(size)/p.NICBandwidth)
+	wire := txEnd + p.Latency + float64(size)/p.Bandwidth
+	_, rxEnd := n.rx[n.Node(dst)].Reserve(wire, float64(size)/p.NICBandwidth)
+	return txEnd, rxEnd
+}
+
+// TimeEstimate returns the uncontended transfer time for size bytes between
+// distinct nodes. Useful for analytic sanity checks in tests.
+func (n *Network) TimeEstimate(size int64) float64 {
+	p := n.params
+	return p.SendOverhead + p.Latency + float64(size)/p.NICBandwidth*2 + float64(size)/p.Bandwidth
+}

@@ -1,0 +1,188 @@
+package layout
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// slabCase is a generated (dims, slab) pair, always valid.
+type slabCase struct {
+	Dims []int64
+	S    Slab
+}
+
+// Generate implements quick.Generator.
+func (slabCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	nd := 1 + rng.Intn(4)
+	c := slabCase{Dims: make([]int64, nd),
+		S: Slab{Start: make([]int64, nd), Count: make([]int64, nd)}}
+	for d := 0; d < nd; d++ {
+		c.Dims[d] = 1 + int64(rng.Intn(8))
+		c.S.Start[d] = int64(rng.Intn(int(c.Dims[d])))
+		c.S.Count[d] = int64(rng.Intn(int(c.Dims[d]-c.S.Start[d]) + 1))
+	}
+	return reflect.ValueOf(c)
+}
+
+// Property (testing/quick): Flatten covers exactly NumElems elements with
+// strictly increasing, maximally coalesced runs that validate.
+func TestQuickFlattenInvariants(t *testing.T) {
+	f := func(c slabCase) bool {
+		runs := Flatten(c.Dims, c.S)
+		if TotalLength(runs) != c.S.NumElems() {
+			return false
+		}
+		total := NumElemsOf(c.Dims)
+		for i, r := range runs {
+			if r.Length <= 0 || r.Offset < 0 || r.End() > total {
+				return false
+			}
+			if i > 0 && r.Offset <= runs[i-1].End() {
+				return false // unsorted, overlapping, or uncoalesced
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): offset -> coords -> offset is the identity for
+// every element of the flattened selection.
+func TestQuickCoordsBijection(t *testing.T) {
+	f := func(c slabCase) bool {
+		coords := make([]int64, len(c.Dims))
+		for _, r := range Flatten(c.Dims, c.S) {
+			for off := r.Offset; off < r.End(); off++ {
+				OffsetToCoords(c.Dims, off, coords)
+				for d := range coords {
+					if coords[d] < c.S.Start[d] || coords[d] >= c.S.Start[d]+c.S.Count[d] {
+						return false // element outside the selection
+					}
+				}
+				if CoordsToOffset(c.Dims, coords) != off {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runCase is a generated (dims, run) pair with the run inside the array.
+type runCase struct {
+	Dims []int64
+	R    Run
+}
+
+// Generate implements quick.Generator.
+func (runCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	nd := 1 + rng.Intn(4)
+	c := runCase{Dims: make([]int64, nd)}
+	total := int64(1)
+	for d := 0; d < nd; d++ {
+		c.Dims[d] = 1 + int64(rng.Intn(7))
+		total *= c.Dims[d]
+	}
+	c.R.Offset = int64(rng.Intn(int(total)))
+	c.R.Length = 1 + int64(rng.Intn(int(total-c.R.Offset)))
+	return reflect.ValueOf(c)
+}
+
+// Property (testing/quick): the logical construction (RunToSlabs) tiles the
+// run exactly and inverts back to it, with and without coalescing.
+func TestQuickRunToSlabsBijection(t *testing.T) {
+	f := func(c runCase, coalesce bool) bool {
+		slabs := RunToSlabs(c.Dims, c.R, coalesce)
+		var n int64
+		for _, s := range slabs {
+			if Validate(c.Dims, s) != nil {
+				return false
+			}
+			n += s.NumElems()
+		}
+		if n != c.R.Length {
+			return false
+		}
+		back := SlabsToRuns(c.Dims, slabs)
+		return len(back) == 1 && back[0] == c.R
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): Coalesce is idempotent and preserves the element
+// set of arbitrary (possibly overlapping) run lists.
+func TestQuickCoalesceIdempotent(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var runs []Run
+		for i := 0; i+1 < len(raw); i += 2 {
+			runs = append(runs, Run{Offset: int64(raw[i] % 512), Length: 1 + int64(raw[i+1]%64)})
+		}
+		set := map[int64]bool{}
+		for _, r := range runs {
+			for o := r.Offset; o < r.End(); o++ {
+				set[o] = true
+			}
+		}
+		once := Coalesce(append([]Run(nil), runs...))
+		twice := Coalesce(append([]Run(nil), once...))
+		if !reflect.DeepEqual(once, twice) {
+			return false
+		}
+		var n int64
+		for i, r := range once {
+			n += r.Length
+			if i > 0 && r.Offset <= once[i-1].End() {
+				return false
+			}
+		}
+		return n == int64(len(set))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): Window never invents bytes — the clipped runs
+// are exactly the selection ∩ [lo, hi).
+func TestQuickWindowExact(t *testing.T) {
+	f := func(c slabCase, loRaw, spanRaw uint16) bool {
+		runs := Flatten(c.Dims, c.S)
+		total := NumElemsOf(c.Dims)
+		lo := int64(loRaw) % (total + 1)
+		hi := lo + int64(spanRaw)%(total+1)
+		w := Window(runs, lo, hi)
+		want := map[int64]bool{}
+		for _, r := range runs {
+			for o := r.Offset; o < r.End(); o++ {
+				if o >= lo && o < hi {
+					want[o] = true
+				}
+			}
+		}
+		var got int64
+		for _, r := range w {
+			if r.Offset < lo || r.End() > hi {
+				return false
+			}
+			for o := r.Offset; o < r.End(); o++ {
+				if !want[o] {
+					return false
+				}
+			}
+			got += r.Length
+		}
+		return got == int64(len(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

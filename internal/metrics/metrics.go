@@ -1,0 +1,211 @@
+// Package metrics collects where each rank's virtual time goes. It
+// implements trace.Tracer (fed by mpi, pfs and cc) and adio.Observer (fed by
+// the two-phase iteration loop), and renders the aggregations behind the
+// paper's profiling figures: the per-iteration read/shuffle series of
+// Figure 1 and the user/sys/wait CPU timelines of Figures 2-3.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Timeline accumulates classified time intervals per rank and per time
+// bucket. It implements trace.Tracer. The simulation kernel serializes rank
+// execution, so no locking is needed.
+type Timeline struct {
+	nranks int
+	bucket float64
+	totals [][]float64            // [rank][kind]
+	series map[int64]*bucketAccum // bucket index -> sums
+}
+
+type bucketAccum struct {
+	kinds [trace.NumKinds]float64
+}
+
+// NewTimeline creates a timeline for n ranks with the given bucket width in
+// virtual seconds (used only by CPUProfile; pass any positive value).
+func NewTimeline(n int, bucket float64) *Timeline {
+	if bucket <= 0 {
+		bucket = 1
+	}
+	tl := &Timeline{nranks: n, bucket: bucket, series: make(map[int64]*bucketAccum)}
+	tl.totals = make([][]float64, n)
+	for i := range tl.totals {
+		tl.totals[i] = make([]float64, trace.NumKinds)
+	}
+	return tl
+}
+
+// Record implements trace.Tracer.
+func (tl *Timeline) Record(rank int, kind trace.Kind, t0, t1 float64) {
+	if t1 <= t0 || rank < 0 || rank >= tl.nranks {
+		return
+	}
+	tl.totals[rank][kind] += t1 - t0
+	// Spread the interval across its buckets.
+	b0 := int64(t0 / tl.bucket)
+	for b := b0; ; b++ {
+		lo := float64(b) * tl.bucket
+		hi := lo + tl.bucket
+		s := math.Max(t0, lo)
+		e := math.Min(t1, hi)
+		if e > s {
+			acc := tl.series[b]
+			if acc == nil {
+				acc = &bucketAccum{}
+				tl.series[b] = acc
+			}
+			acc.kinds[kind] += e - s
+		}
+		if hi >= t1 {
+			break
+		}
+	}
+}
+
+// Total returns the summed time of a kind across all ranks.
+func (tl *Timeline) Total(kind trace.Kind) float64 {
+	var s float64
+	for _, t := range tl.totals {
+		s += t[kind]
+	}
+	return s
+}
+
+// RankTotal returns one rank's total for a kind.
+func (tl *Timeline) RankTotal(rank int, kind trace.Kind) float64 {
+	return tl.totals[rank][kind]
+}
+
+// CPUSample is one bucket of the cluster-wide CPU profile: percentages of
+// total core time in user (compute), sys, and wait, as an OS monitor would
+// have reported them. Message waits count as user time — MPICH busy-polls,
+// so a rank blocked in MPI burns user CPU on a real node — while storage
+// waits and unattributed time count as wait.
+type CPUSample struct {
+	T                  float64 // bucket start time
+	User, SysPct, Wait float64 // percent of n*bucket core-seconds
+}
+
+// CPUProfile renders the bucketed user/sys/wait percentages from time 0 to
+// `until` (typically env.Now() at the end of the run).
+func (tl *Timeline) CPUProfile(until float64) []CPUSample {
+	if until <= 0 {
+		return nil
+	}
+	nb := int64(math.Ceil(until / tl.bucket))
+	out := make([]CPUSample, 0, nb)
+	denom := float64(tl.nranks) * tl.bucket
+	for b := int64(0); b < nb; b++ {
+		s := CPUSample{T: float64(b) * tl.bucket}
+		if acc := tl.series[b]; acc != nil {
+			user := acc.kinds[trace.Compute] + acc.kinds[trace.WaitComm]
+			sys := acc.kinds[trace.Sys]
+			wait := acc.kinds[trace.WaitIO]
+			// Clamp the final, partial bucket's denominator.
+			d := denom
+			if rem := until - s.T; rem < tl.bucket {
+				d = float64(tl.nranks) * rem
+			}
+			unattributed := d - user - sys - wait
+			if unattributed > 0 {
+				wait += unattributed
+			}
+			s.User = 100 * user / d
+			s.SysPct = 100 * sys / d
+			s.Wait = 100 * wait / d
+		} else {
+			s.Wait = 100
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// IterSample is one aggregated two-phase iteration: mean read and shuffle
+// time across the aggregators that executed it — the two series of the
+// paper's Figure 1.
+type IterSample struct {
+	Iter    int
+	Read    float64
+	Shuffle float64
+	Bytes   int64
+}
+
+// IterStats implements adio.Observer, aggregating per-iteration timings
+// across aggregators.
+type IterStats struct {
+	byIter map[int]*iterAccum
+
+	// Totals.
+	ReadSeconds    float64
+	ShuffleSeconds float64
+	Iterations     int
+	Bytes          int64
+}
+
+type iterAccum struct {
+	read, shuffle float64
+	n             int
+	bytes         int64
+}
+
+// NewIterStats returns an empty collector.
+func NewIterStats() *IterStats {
+	return &IterStats{byIter: make(map[int]*iterAccum)}
+}
+
+// ObserveIter implements adio.Observer.
+func (is *IterStats) ObserveIter(aggrIdx, iter int, readSec, shuffleSec float64, bytes int64) {
+	acc := is.byIter[iter]
+	if acc == nil {
+		acc = &iterAccum{}
+		is.byIter[iter] = acc
+	}
+	acc.read += readSec
+	acc.shuffle += shuffleSec
+	acc.n++
+	acc.bytes += bytes
+	is.ReadSeconds += readSec
+	is.ShuffleSeconds += shuffleSec
+	is.Iterations++
+	is.Bytes += bytes
+}
+
+// Series returns the per-iteration mean read/shuffle times, sorted by
+// iteration index.
+func (is *IterStats) Series() []IterSample {
+	out := make([]IterSample, 0, len(is.byIter))
+	for k, acc := range is.byIter {
+		out = append(out, IterSample{
+			Iter:    k,
+			Read:    acc.read / float64(acc.n),
+			Shuffle: acc.shuffle / float64(acc.n),
+			Bytes:   acc.bytes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })
+	return out
+}
+
+// ShuffleOverhead returns the shuffle share of total phase time — the
+// paper's "~20% overhead" headline from Figure 1.
+func (is *IterStats) ShuffleOverhead() float64 {
+	total := is.ReadSeconds + is.ShuffleSeconds
+	if total == 0 {
+		return 0
+	}
+	return is.ShuffleSeconds / total
+}
+
+// Summary is a compact human-readable report of a timeline.
+func (tl *Timeline) Summary() string {
+	return fmt.Sprintf("user %.2fs sys %.2fs wait-io %.2fs wait-comm %.2fs",
+		tl.Total(trace.Compute), tl.Total(trace.Sys),
+		tl.Total(trace.WaitIO), tl.Total(trace.WaitComm))
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTimelineTotals(t *testing.T) {
+	tl := NewTimeline(2, 1.0)
+	tl.Record(0, trace.Compute, 0, 2.5)
+	tl.Record(1, trace.Compute, 1, 2)
+	tl.Record(0, trace.Sys, 2.5, 3)
+	tl.Record(0, trace.WaitIO, 3, 4)
+	if got := tl.Total(trace.Compute); got != 3.5 {
+		t.Errorf("Total(Compute) = %g", got)
+	}
+	if got := tl.RankTotal(0, trace.Compute); got != 2.5 {
+		t.Errorf("RankTotal = %g", got)
+	}
+}
+
+func TestTimelineIgnoresJunk(t *testing.T) {
+	tl := NewTimeline(1, 1.0)
+	tl.Record(0, trace.Compute, 5, 5)  // zero length
+	tl.Record(0, trace.Compute, 5, 4)  // negative
+	tl.Record(-1, trace.Compute, 0, 1) // bad rank
+	tl.Record(7, trace.Compute, 0, 1)  // bad rank
+	if tl.Total(trace.Compute) != 0 {
+		t.Error("junk intervals counted")
+	}
+}
+
+func TestCPUProfileBuckets(t *testing.T) {
+	tl := NewTimeline(1, 1.0)
+	// Rank computes from 0.5 to 1.5: half of bucket 0, half of bucket 1.
+	tl.Record(0, trace.Compute, 0.5, 1.5)
+	prof := tl.CPUProfile(2.0)
+	if len(prof) != 2 {
+		t.Fatalf("%d buckets", len(prof))
+	}
+	if math.Abs(prof[0].User-50) > 1e-9 || math.Abs(prof[1].User-50) > 1e-9 {
+		t.Errorf("user%% = %g, %g; want 50, 50", prof[0].User, prof[1].User)
+	}
+	// Unattributed time becomes wait.
+	if math.Abs(prof[0].Wait-50) > 1e-9 {
+		t.Errorf("wait%% = %g, want 50", prof[0].Wait)
+	}
+	if u := prof[0].User + prof[0].SysPct + prof[0].Wait; math.Abs(u-100) > 1e-9 {
+		t.Errorf("bucket sums to %g%%", u)
+	}
+}
+
+func TestCPUProfilePartialFinalBucket(t *testing.T) {
+	tl := NewTimeline(2, 1.0)
+	tl.Record(0, trace.Compute, 2.0, 2.5)
+	tl.Record(1, trace.Compute, 2.0, 2.5)
+	prof := tl.CPUProfile(2.5) // final bucket only half-wide
+	last := prof[len(prof)-1]
+	if math.Abs(last.User-100) > 1e-9 {
+		t.Errorf("final bucket user%% = %g, want 100 (both ranks busy all of it)", last.User)
+	}
+}
+
+func TestCPUProfileEmpty(t *testing.T) {
+	tl := NewTimeline(1, 1.0)
+	if p := tl.CPUProfile(0); p != nil {
+		t.Error("profile of zero-length run not nil")
+	}
+	p := tl.CPUProfile(1)
+	if len(p) != 1 || p[0].Wait != 100 {
+		t.Errorf("idle bucket = %+v", p)
+	}
+}
+
+func TestIterStatsSeries(t *testing.T) {
+	is := NewIterStats()
+	// Two aggregators execute iteration 0; one executes iteration 2.
+	is.ObserveIter(0, 0, 1.0, 0.2, 100)
+	is.ObserveIter(1, 0, 3.0, 0.4, 200)
+	is.ObserveIter(0, 2, 2.0, 0.1, 50)
+	s := is.Series()
+	if len(s) != 2 {
+		t.Fatalf("%d samples", len(s))
+	}
+	if s[0].Iter != 0 || s[1].Iter != 2 {
+		t.Fatalf("iteration order: %+v", s)
+	}
+	if s[0].Read != 2.0 || math.Abs(s[0].Shuffle-0.3) > 1e-12 {
+		t.Errorf("iter0 mean read/shuffle = %g/%g", s[0].Read, s[0].Shuffle)
+	}
+	if is.Iterations != 3 || is.Bytes != 350 {
+		t.Errorf("totals: %d iters %d bytes", is.Iterations, is.Bytes)
+	}
+}
+
+func TestShuffleOverhead(t *testing.T) {
+	is := NewIterStats()
+	if is.ShuffleOverhead() != 0 {
+		t.Error("empty overhead != 0")
+	}
+	is.ObserveIter(0, 0, 8, 2, 0)
+	if got := is.ShuffleOverhead(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("overhead = %g, want 0.2", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	tl := NewTimeline(1, 1)
+	tl.Record(0, trace.Compute, 0, 1)
+	if s := tl.Summary(); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestNewTimelineBadBucket(t *testing.T) {
+	tl := NewTimeline(1, 0) // must not divide by zero
+	tl.Record(0, trace.Compute, 0, 0.5)
+	if tl.Total(trace.Compute) != 0.5 {
+		t.Error("fallback bucket broken")
+	}
+}

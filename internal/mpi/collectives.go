@@ -1,0 +1,367 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered subset of world ranks with its own rank
+// numbering and a private collective tag space. All collective calls on a
+// Comm must be made by every member in the same order (SPMD), as in MPI.
+type Comm struct {
+	w       *World
+	id      int
+	members []int       // comm rank -> world rank
+	index   map[int]int // world rank -> comm rank
+	seq     []int       // per-member collective sequence number
+}
+
+// Comm returns a communicator over all world ranks (MPI_COMM_WORLD).
+func (w *World) Comm() *Comm {
+	all := make([]int, len(w.ranks))
+	for i := range all {
+		all[i] = i
+	}
+	return w.newComm(all)
+}
+
+func (w *World) newComm(members []int) *Comm {
+	c := &Comm{w: w, id: w.comms, members: members,
+		index: make(map[int]int, len(members)), seq: make([]int, len(members))}
+	w.comms++
+	for i, wr := range members {
+		if wr < 0 || wr >= len(w.ranks) {
+			panic(fmt.Sprintf("mpi: communicator member %d out of range", wr))
+		}
+		if _, dup := c.index[wr]; dup {
+			panic(fmt.Sprintf("mpi: duplicate communicator member %d", wr))
+		}
+		c.index[wr] = i
+	}
+	return c
+}
+
+// Sub creates a communicator of the given world ranks, sorted ascending.
+func (w *World) Sub(members []int) *Comm {
+	m := append([]int(nil), members...)
+	sort.Ints(m)
+	return w.newComm(m)
+}
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Members returns the world ranks, indexed by comm rank. Callers must not
+// modify the returned slice.
+func (c *Comm) Members() []int { return c.members }
+
+// WorldRank maps a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// RankOf returns r's comm rank, or -1 if r is not a member.
+func (c *Comm) RankOf(r *Rank) int {
+	if i, ok := c.index[r.rank]; ok {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether world rank wr is a member.
+func (c *Comm) Contains(wr int) bool {
+	_, ok := c.index[wr]
+	return ok
+}
+
+// tagSpacePerComm bounds the number of collective tags a communicator can
+// allocate before colliding with the next communicator's tag space.
+const tagSpacePerComm = 1 << 30
+
+// nextTag allocates the collective tag for r's next collective on c. Tags
+// are negative to stay out of the user tag space, and unique per (comm,
+// collective call) because every member calls collectives in the same order.
+func (c *Comm) nextTag(me int) int {
+	s := c.seq[me]
+	c.seq[me]++
+	return -(1 + c.id*tagSpacePerComm + s)
+}
+
+// ReserveTags allocates n consecutive collective tags for a library-level
+// operation (such as one collective I/O call with n internal iterations) and
+// returns the first; subsequent tags are base-1, base-2, …, base-(n-1).
+// Every member must call it at the same point in its collective sequence.
+func (c *Comm) ReserveTags(r *Rank, n int) int {
+	me := c.mustRank(r)
+	s := c.seq[me]
+	c.seq[me] += n
+	return -(1 + c.id*tagSpacePerComm + s)
+}
+
+// send/recv in comm-rank space.
+func (c *Comm) send(r *Rank, dstComm, tag int, payload interface{}, bytes int64) {
+	r.Send(c.members[dstComm], tag, payload, bytes)
+}
+func (c *Comm) isend(r *Rank, dstComm, tag int, payload interface{}, bytes int64) *Request {
+	return r.Isend(c.members[dstComm], tag, payload, bytes)
+}
+func (c *Comm) recv(r *Rank, srcComm, tag int) (interface{}, int64) {
+	return r.Recv(c.members[srcComm], tag)
+}
+
+func (c *Comm) mustRank(r *Rank) int {
+	me := c.RankOf(r)
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d is not a member of this communicator", r.rank))
+	}
+	return me
+}
+
+// Barrier blocks until every member has entered it (dissemination barrier,
+// ceil(log2 n) rounds).
+func (c *Comm) Barrier(r *Rank) {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	for k := 1; k < n; k <<= 1 {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		req := c.isend(r, dst, tag, nil, 0)
+		c.recv(r, src, tag)
+		r.Wait(req)
+	}
+}
+
+// Bcast distributes payload (size bytes) from root to all members via a
+// binomial tree; every member returns the payload.
+func (c *Comm) Bcast(r *Rank, root int, payload interface{}, bytes int64) interface{} {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	n := c.Size()
+	rel := (me - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % n
+			payload, _ = c.recv(r, src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	var reqs []*Request
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + root) % n
+			reqs = append(reqs, c.isend(r, dst, tag, payload, bytes))
+		}
+		mask >>= 1
+	}
+	r.WaitAll(reqs)
+	return payload
+}
+
+// ReduceFn combines two partial values into one. It must be associative and
+// commutative for the tree reduction to be well-defined (all the paper's
+// operators — sum, min, max, count — are).
+type ReduceFn func(a, b interface{}) interface{}
+
+// Reduce combines every member's data at root via a binomial tree and
+// returns the combined value at root (nil elsewhere). bytes is the logical
+// message size of one partial value.
+func (c *Comm) Reduce(r *Rank, root int, data interface{}, bytes int64, op ReduceFn) interface{} {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	n := c.Size()
+	rel := (me - root + n) % n
+	acc := data
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask == 0 {
+			peer := rel | mask
+			if peer < n {
+				v, _ := c.recv(r, (peer+root)%n, tag)
+				acc = op(acc, v)
+			}
+		} else {
+			peer := rel &^ mask
+			c.send(r, (peer+root)%n, tag, acc, bytes)
+			return nil
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce to member 0 followed by Bcast; every member returns
+// the combined value.
+func (c *Comm) Allreduce(r *Rank, data interface{}, bytes int64, op ReduceFn) interface{} {
+	v := c.Reduce(r, 0, data, bytes, op)
+	return c.Bcast(r, 0, v, bytes)
+}
+
+// Gather collects each member's payload at root, indexed by comm rank; it
+// returns the slice at root and nil elsewhere. bytes is per-member size.
+func (c *Comm) Gather(r *Rank, root int, payload interface{}, bytes int64) []interface{} {
+	sizes := make([]int64, c.Size())
+	for i := range sizes {
+		sizes[i] = bytes
+	}
+	return c.Gatherv(r, root, payload, sizes)
+}
+
+// Gatherv is Gather with per-member sizes (indexed by comm rank).
+func (c *Comm) Gatherv(r *Rank, root int, payload interface{}, bytes []int64) []interface{} {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	if me != root {
+		c.send(r, root, tag, payload, bytes[me])
+		return nil
+	}
+	out := make([]interface{}, c.Size())
+	out[me] = payload
+	// Post all receives, then complete in arrival order.
+	reqs := make([]*Request, 0, c.Size()-1)
+	for i := 0; i < c.Size(); i++ {
+		if i != me {
+			reqs = append(reqs, r.Irecv(c.members[i], tag))
+		}
+	}
+	for _, q := range reqs {
+		v, _ := r.Wait(q)
+		out[c.index[q.env.src]] = v
+	}
+	return out
+}
+
+// Allgather gathers every member's payload to member 0 and broadcasts the
+// full slice; every member returns it, indexed by comm rank. The modeled
+// bcast volume is the sum of all payload sizes, matching ROMIO's offset-list
+// exchange cost.
+func (c *Comm) Allgather(r *Rank, payload interface{}, bytes int64) []interface{} {
+	all := c.Gatherv(r, 0, payload, repeat(bytes, c.Size()))
+	total := bytes * int64(c.Size())
+	v := c.Bcast(r, 0, all, total)
+	return v.([]interface{})
+}
+
+// Allgatherv is Allgather with per-member sizes.
+func (c *Comm) Allgatherv(r *Rank, payload interface{}, bytes []int64) []interface{} {
+	all := c.Gatherv(r, 0, payload, bytes)
+	var total int64
+	for _, b := range bytes {
+		total += b
+	}
+	v := c.Bcast(r, 0, all, total)
+	return v.([]interface{})
+}
+
+// Alltoallv exchanges personalized data: member i's parts[j] goes to member
+// j. Entries may be nil (zero bytes). Returns the received parts indexed by
+// source comm rank; out[me] is the local part, moved without network cost.
+// The exchange is the pairwise algorithm ROMIO uses in its shuffle phase.
+func (c *Comm) Alltoallv(r *Rank, parts []interface{}, bytes []int64) []interface{} {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	n := c.Size()
+	if len(parts) != n || len(bytes) != n {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d parts for comm of %d", len(parts), n))
+	}
+	out := make([]interface{}, n)
+	out[me] = parts[me]
+	for k := 1; k < n; k++ {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		sreq := c.isend(r, dst, tag, parts[dst], bytes[dst])
+		v, _ := c.recv(r, src, tag)
+		out[src] = v
+		r.Wait(sreq)
+	}
+	return out
+}
+
+// Scatterv sends root's parts[i] (size bytes[i]) to member i; every member
+// returns its own part.
+func (c *Comm) Scatterv(r *Rank, root int, parts []interface{}, bytes []int64) interface{} {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	if me != root {
+		v, _ := c.recv(r, root, tag)
+		return v
+	}
+	var reqs []*Request
+	for i := 0; i < c.Size(); i++ {
+		if i != me {
+			reqs = append(reqs, c.isend(r, i, tag, parts[i], bytes[i]))
+		}
+	}
+	r.WaitAll(reqs)
+	return parts[me]
+}
+
+func repeat(v int64, n int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// Scan computes the inclusive prefix reduction: member i returns
+// op(data_0, …, data_i). Linear-chain algorithm, as small communicators use.
+func (c *Comm) Scan(r *Rank, data interface{}, bytes int64, op ReduceFn) interface{} {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	acc := data
+	if me > 0 {
+		prev, _ := c.recv(r, me-1, tag)
+		acc = op(prev, data)
+	}
+	if me+1 < c.Size() {
+		c.send(r, me+1, tag, acc, bytes)
+	}
+	return acc
+}
+
+// Exscan computes the exclusive prefix reduction: member 0 returns nil,
+// member i>0 returns op(data_0, …, data_{i-1}).
+func (c *Comm) Exscan(r *Rank, data interface{}, bytes int64, op ReduceFn) interface{} {
+	me := c.mustRank(r)
+	tag := c.nextTag(me)
+	var before interface{}
+	if me > 0 {
+		before, _ = c.recv(r, me-1, tag)
+	}
+	if me+1 < c.Size() {
+		carry := data
+		if me > 0 {
+			carry = op(before, data)
+		}
+		c.send(r, me+1, tag, carry, bytes)
+	}
+	return before
+}
+
+// ReduceScatterBlock reduces every member's parts element-wise and leaves
+// member i with the combined parts[i]. Implemented as a reduce at member 0
+// followed by a scatter, with per-block message sizes.
+func (c *Comm) ReduceScatterBlock(r *Rank, parts []interface{}, blockBytes int64, op ReduceFn) interface{} {
+	n := c.Size()
+	if len(parts) != n {
+		panic(fmt.Sprintf("mpi: ReduceScatterBlock with %d parts for comm of %d", len(parts), n))
+	}
+	combined := c.Reduce(r, 0, parts, blockBytes*int64(n), func(a, b interface{}) interface{} {
+		x, y := a.([]interface{}), b.([]interface{})
+		out := make([]interface{}, len(x))
+		for i := range x {
+			out[i] = op(x[i], y[i])
+		}
+		return out
+	})
+	var scatter []interface{}
+	if c.mustRank(r) == 0 {
+		scatter = combined.([]interface{})
+	} else {
+		scatter = make([]interface{}, n)
+	}
+	return c.Scatterv(r, 0, scatter, repeat(blockBytes, n))
+}

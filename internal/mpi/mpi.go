@@ -1,0 +1,269 @@
+// Package mpi is a message-passing runtime for the simulation: ranks are
+// sim processes exchanging tagged messages over a fabric.Network cost model.
+// It provides the MPI subset the paper's code depends on — blocking and
+// non-blocking point-to-point, request completion, and the collectives used
+// by two-phase collective I/O and by collective computing (barrier, bcast,
+// reduce, allreduce, gather(v), allgather, alltoallv, scatterv) — with
+// MPI-like matching semantics (source+tag, non-overtaking per pair).
+//
+// Eager delivery is modeled for every message size: a send deposits the
+// payload at the destination with an arrival time from the network model and
+// never blocks on the receiver. This is the same simplification most
+// simulators make; the paper's phenomena (shuffle volume and message-count
+// costs) do not depend on rendezvous flow control.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Wildcards for Recv/Irecv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// World is the set of all ranks plus the network connecting them.
+type World struct {
+	env    *sim.Env
+	net    *fabric.Network
+	ranks  []*Rank
+	tracer trace.Tracer
+	comms  int // id allocator for tag namespacing
+}
+
+// NewWorld creates n ranks connected by a network with the given parameters.
+func NewWorld(env *sim.Env, n int, p fabric.Params) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", n))
+	}
+	w := &World{env: env, net: fabric.New(env, n, p), tracer: trace.Nop{}}
+	w.ranks = make([]*Rank, n)
+	for i := range w.ranks {
+		w.ranks[i] = &Rank{w: w, rank: i}
+	}
+	return w
+}
+
+// SetTracer installs tr for all subsequent time accounting. Nil resets to a
+// no-op tracer.
+func (w *World) SetTracer(tr trace.Tracer) {
+	if tr == nil {
+		w.tracer = trace.Nop{}
+	} else {
+		w.tracer = tr
+	}
+}
+
+// Env returns the simulation environment.
+func (w *World) Env() *sim.Env { return w.env }
+
+// Net returns the network model (for traffic statistics).
+func (w *World) Net() *fabric.Network { return w.net }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Go launches main on every rank (SPMD). Call env.Run() afterwards to
+// execute the program.
+func (w *World) Go(main func(r *Rank)) {
+	for i := range w.ranks {
+		rr := w.ranks[i]
+		rr.proc = w.env.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			main(rr)
+		})
+	}
+}
+
+// GoOne launches main on a single rank (for asymmetric test programs).
+func (w *World) GoOne(rank int, main func(r *Rank)) {
+	rr := w.ranks[rank]
+	rr.proc = w.env.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+		main(rr)
+	})
+}
+
+// Rank is one simulated MPI process. All methods must be called from the
+// rank's own goroutine (inside the function passed to Go).
+type Rank struct {
+	w       *World
+	rank    int
+	proc    *sim.Proc
+	pending []*envelope // arrived, unmatched messages in delivery order
+	posted  []*Request  // posted receives in post order
+}
+
+// Rank returns this process's world rank.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// Proc exposes the underlying sim process (for libraries layered on mpi).
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() float64 { return r.w.env.Now() }
+
+// Compute charges seconds of application computation to this rank.
+func (r *Rank) Compute(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	t0 := r.Now()
+	r.proc.Sleep(seconds)
+	r.w.tracer.Record(r.rank, trace.Compute, t0, r.Now())
+}
+
+// Sys charges seconds of system-ish CPU work (packing, copies) to this rank.
+func (r *Rank) Sys(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	t0 := r.Now()
+	r.proc.Sleep(seconds)
+	r.w.tracer.Record(r.rank, trace.Sys, t0, r.Now())
+}
+
+type envelope struct {
+	src     int
+	tag     int
+	payload interface{}
+	bytes   int64
+	ready   float64
+}
+
+type reqKind uint8
+
+const (
+	sendReq reqKind = iota
+	recvReq
+)
+
+// Request is a non-blocking operation handle, completed by Wait.
+type Request struct {
+	kind    reqKind
+	owner   *Rank
+	src     int // recv: matching source (or AnySource)
+	tag     int // recv: matching tag (or AnyTag)
+	env     *envelope
+	freeAt  float64 // send: when the sender may reuse the buffer
+	waiting bool
+	done    bool
+}
+
+func match(e *envelope, src, tag int) bool {
+	return (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag)
+}
+
+// Isend starts a non-blocking send of payload (logical size bytes) to dst
+// with the given tag. The payload is shared by reference: simulated programs
+// must not mutate a buffer they have sent, same as real MPI before Wait.
+func (r *Rank) Isend(dst, tag int, payload interface{}, bytes int64) *Request {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: rank %d Isend to invalid rank %d", r.rank, dst))
+	}
+	t0 := r.Now()
+	senderFree, ready := r.w.net.Transfer(r.rank, dst, bytes, t0)
+	// Injection overhead occupies the sender's CPU immediately.
+	ov := r.w.net.Params().SendOverhead
+	r.proc.Sleep(ov)
+	r.w.tracer.Record(r.rank, trace.Sys, t0, r.Now())
+	e := &envelope{src: r.rank, tag: tag, payload: payload, bytes: bytes, ready: ready}
+	r.w.ranks[dst].deliver(e)
+	return &Request{kind: sendReq, owner: r, freeAt: senderFree, env: e}
+}
+
+// Send is a blocking send: Isend + Wait.
+func (r *Rank) Send(dst, tag int, payload interface{}, bytes int64) {
+	r.Wait(r.Isend(dst, tag, payload, bytes))
+}
+
+// Irecv posts a non-blocking receive matching (src, tag); use AnySource /
+// AnyTag as wildcards.
+func (r *Rank) Irecv(src, tag int) *Request {
+	req := &Request{kind: recvReq, owner: r, src: src, tag: tag}
+	for i, e := range r.pending {
+		if match(e, src, tag) {
+			req.env = e
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return req
+		}
+	}
+	r.posted = append(r.posted, req)
+	return req
+}
+
+// deliver routes an incoming envelope to the first matching posted receive,
+// or queues it as unexpected.
+func (r *Rank) deliver(e *envelope) {
+	for i, req := range r.posted {
+		if match(e, req.src, req.tag) {
+			req.env = e
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			if req.waiting {
+				r.proc.Unblock(r.w.env.Now())
+			}
+			return
+		}
+	}
+	r.pending = append(r.pending, e)
+}
+
+// Wait blocks until req completes. For receives it returns the payload and
+// its size; for sends it returns (nil, 0) once the send buffer is reusable.
+func (r *Rank) Wait(req *Request) (interface{}, int64) {
+	if req.owner != r {
+		panic("mpi: Wait on a request owned by another rank")
+	}
+	if req.done {
+		panic("mpi: Wait on an already-completed request")
+	}
+	req.done = true
+	switch req.kind {
+	case sendReq:
+		t0 := r.Now()
+		r.proc.SleepUntil(req.freeAt)
+		if r.Now() > t0 {
+			r.w.tracer.Record(r.rank, trace.Sys, t0, r.Now())
+		}
+		return nil, 0
+	default: // recvReq
+		t0 := r.Now()
+		for req.env == nil {
+			req.waiting = true
+			r.proc.Block(fmt.Sprintf("mpi recv src=%d tag=%d", req.src, req.tag))
+			req.waiting = false
+		}
+		r.proc.SleepUntil(req.env.ready)
+		if r.Now() > t0 {
+			r.w.tracer.Record(r.rank, trace.WaitComm, t0, r.Now())
+		}
+		return req.env.payload, req.env.bytes
+	}
+}
+
+// WaitAll completes every request in order.
+func (r *Rank) WaitAll(reqs []*Request) {
+	for _, q := range reqs {
+		r.Wait(q)
+	}
+}
+
+// Recv is a blocking receive: Irecv + Wait.
+func (r *Rank) Recv(src, tag int) (interface{}, int64) {
+	return r.Wait(r.Irecv(src, tag))
+}
+
+// RecvFrom is Recv returning the payload only, for terser call sites.
+func (r *Rank) RecvFrom(src, tag int) interface{} {
+	p, _ := r.Recv(src, tag)
+	return p
+}

@@ -1,0 +1,188 @@
+package ncfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AttrKind is the type of an attribute value.
+type AttrKind uint16
+
+// Attribute kinds.
+const (
+	AttrText AttrKind = iota
+	AttrFloat64
+	AttrInt64
+)
+
+// Attr is a named metadata value attached to the dataset or to a variable —
+// the units/long_name/history conventions of netCDF files.
+type Attr struct {
+	Name string
+	Kind AttrKind
+	Text string
+	Num  float64 // Float64 value, or Int64 value losslessly up to 2^53
+	Int  int64
+}
+
+// TextAttr builds a text attribute.
+func TextAttr(name, value string) Attr {
+	return Attr{Name: name, Kind: AttrText, Text: value}
+}
+
+// FloatAttr builds a float64 attribute.
+func FloatAttr(name string, value float64) Attr {
+	return Attr{Name: name, Kind: AttrFloat64, Num: value}
+}
+
+// IntAttr builds an int64 attribute.
+func IntAttr(name string, value int64) Attr {
+	return Attr{Name: name, Kind: AttrInt64, Int: value}
+}
+
+func (a Attr) String() string {
+	switch a.Kind {
+	case AttrText:
+		return fmt.Sprintf("%s=%q", a.Name, a.Text)
+	case AttrFloat64:
+		return fmt.Sprintf("%s=%g", a.Name, a.Num)
+	default:
+		return fmt.Sprintf("%s=%d", a.Name, a.Int)
+	}
+}
+
+// AddGlobalAttr attaches a dataset-level attribute to the schema.
+func (s *Schema) AddGlobalAttr(a Attr) error {
+	if a.Name == "" {
+		return fmt.Errorf("ncfile: empty attribute name")
+	}
+	for _, ex := range s.globalAttrs {
+		if ex.Name == a.Name {
+			return fmt.Errorf("ncfile: duplicate global attribute %q", a.Name)
+		}
+	}
+	s.globalAttrs = append(s.globalAttrs, a)
+	return nil
+}
+
+// AddVarAttr attaches an attribute to variable id.
+func (s *Schema) AddVarAttr(id int, a Attr) error {
+	if id < 0 || id >= len(s.vars) {
+		return fmt.Errorf("ncfile: variable id %d out of range", id)
+	}
+	if a.Name == "" {
+		return fmt.Errorf("ncfile: empty attribute name")
+	}
+	if s.varAttrs == nil {
+		s.varAttrs = make(map[int][]Attr)
+	}
+	for _, ex := range s.varAttrs[id] {
+		if ex.Name == a.Name {
+			return fmt.Errorf("ncfile: duplicate attribute %q on variable %d", a.Name, id)
+		}
+	}
+	s.varAttrs[id] = append(s.varAttrs[id], a)
+	return nil
+}
+
+// GlobalAttrs returns the dataset-level attributes.
+func (ds *Dataset) GlobalAttrs() []Attr { return ds.globalAttrs }
+
+// GlobalAttr looks up a dataset-level attribute by name.
+func (ds *Dataset) GlobalAttr(name string) (Attr, bool) {
+	for _, a := range ds.globalAttrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// VarAttrs returns variable id's attributes.
+func (ds *Dataset) VarAttrs(id int) []Attr { return ds.varAttrs[id] }
+
+// VarAttr looks up an attribute of variable id by name.
+func (ds *Dataset) VarAttr(id int, name string) (Attr, bool) {
+	for _, a := range ds.varAttrs[id] {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// attrBytes returns the encoded size of one attribute.
+func attrBytes(a Attr) int64 {
+	n := int64(8 + len(a.Name) + 2)
+	if a.Kind == AttrText {
+		n += 8 + int64(len(a.Text))
+	} else {
+		n += 8
+	}
+	return n
+}
+
+// encodeAttr appends the attribute at buf[pos:], returning the new pos.
+func encodeAttr(buf []byte, pos int, a Attr) int {
+	le := binary.LittleEndian
+	le.PutUint64(buf[pos:], uint64(len(a.Name)))
+	pos += 8
+	copy(buf[pos:], a.Name)
+	pos += len(a.Name)
+	le.PutUint16(buf[pos:], uint16(a.Kind))
+	pos += 2
+	switch a.Kind {
+	case AttrText:
+		le.PutUint64(buf[pos:], uint64(len(a.Text)))
+		pos += 8
+		copy(buf[pos:], a.Text)
+		pos += len(a.Text)
+	case AttrFloat64:
+		le.PutUint64(buf[pos:], math.Float64bits(a.Num))
+		pos += 8
+	default:
+		le.PutUint64(buf[pos:], uint64(a.Int))
+		pos += 8
+	}
+	return pos
+}
+
+// decodeAttr parses one attribute at buf[pos:].
+func decodeAttr(buf []byte, pos int) (Attr, int, error) {
+	le := binary.LittleEndian
+	if pos+8 > len(buf) {
+		return Attr{}, 0, fmt.Errorf("ncfile: truncated attribute")
+	}
+	nameLen := int(le.Uint64(buf[pos:]))
+	pos += 8
+	if nameLen > 1<<16 || pos+nameLen+2 > len(buf) {
+		return Attr{}, 0, fmt.Errorf("ncfile: corrupt attribute name")
+	}
+	a := Attr{Name: string(buf[pos : pos+nameLen])}
+	pos += nameLen
+	a.Kind = AttrKind(le.Uint16(buf[pos:]))
+	pos += 2
+	if pos+8 > len(buf) {
+		return Attr{}, 0, fmt.Errorf("ncfile: truncated attribute value")
+	}
+	switch a.Kind {
+	case AttrText:
+		tl := int(le.Uint64(buf[pos:]))
+		pos += 8
+		if tl > 1<<20 || pos+tl > len(buf) {
+			return Attr{}, 0, fmt.Errorf("ncfile: corrupt text attribute")
+		}
+		a.Text = string(buf[pos : pos+tl])
+		pos += tl
+	case AttrFloat64:
+		a.Num = math.Float64frombits(le.Uint64(buf[pos:]))
+		pos += 8
+	case AttrInt64:
+		a.Int = int64(le.Uint64(buf[pos:]))
+		pos += 8
+	default:
+		return Attr{}, 0, fmt.Errorf("ncfile: unknown attribute kind %d", a.Kind)
+	}
+	return a, pos, nil
+}

@@ -1,0 +1,189 @@
+package ncfile
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+func TestAttrValidation(t *testing.T) {
+	var s Schema
+	id, _ := s.AddVar("v", Float32, []int64{4})
+	if err := s.AddGlobalAttr(TextAttr("", "x")); err == nil {
+		t.Error("empty global attr name accepted")
+	}
+	if err := s.AddGlobalAttr(TextAttr("title", "t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGlobalAttr(FloatAttr("title", 1)); err == nil {
+		t.Error("duplicate global attr accepted")
+	}
+	if err := s.AddVarAttr(id, TextAttr("units", "K")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVarAttr(id, TextAttr("units", "C")); err == nil {
+		t.Error("duplicate var attr accepted")
+	}
+	if err := s.AddVarAttr(7, TextAttr("units", "K")); err == nil {
+		t.Error("bad varid accepted")
+	}
+	if err := s.AddVarAttr(id, TextAttr("", "K")); err == nil {
+		t.Error("empty var attr name accepted")
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	if TextAttr("a", "b").String() != `a="b"` {
+		t.Error(TextAttr("a", "b").String())
+	}
+	if FloatAttr("x", 2.5).String() != "x=2.5" {
+		t.Error(FloatAttr("x", 2.5).String())
+	}
+	if IntAttr("n", -3).String() != "n=-3" {
+		t.Error(IntAttr("n", -3).String())
+	}
+}
+
+func TestAttrsSurviveCreateOpen(t *testing.T) {
+	te := newTestEnv(1)
+	var s Schema
+	id, _ := s.AddVar("temperature", Float32, []int64{8})
+	s.AddGlobalAttr(TextAttr("title", "hurricane run 42"))
+	s.AddGlobalAttr(IntAttr("spinup_steps", 100))
+	s.AddVarAttr(id, TextAttr("units", "degC"))
+	s.AddVarAttr(id, FloatAttr("missing_value", -999.25))
+	ds, err := Create(te.fs, "f", &s, pfs.NewMemBackend(0), 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(d *Dataset, label string) {
+		t.Helper()
+		if a, ok := d.GlobalAttr("title"); !ok || a.Text != "hurricane run 42" {
+			t.Fatalf("%s: title = %+v, %v", label, a, ok)
+		}
+		if a, ok := d.GlobalAttr("spinup_steps"); !ok || a.Int != 100 {
+			t.Fatalf("%s: spinup_steps = %+v", label, a)
+		}
+		if a, ok := d.VarAttr(id, "units"); !ok || a.Text != "degC" {
+			t.Fatalf("%s: units = %+v", label, a)
+		}
+		if a, ok := d.VarAttr(id, "missing_value"); !ok || a.Num != -999.25 {
+			t.Fatalf("%s: missing_value = %+v", label, a)
+		}
+		if _, ok := d.GlobalAttr("nope"); ok {
+			t.Fatalf("%s: phantom attr", label)
+		}
+		if len(d.GlobalAttrs()) != 2 || len(d.VarAttrs(id)) != 2 {
+			t.Fatalf("%s: attr counts %d/%d", label, len(d.GlobalAttrs()), len(d.VarAttrs(id)))
+		}
+	}
+	check(ds, "created")
+	var reopened *Dataset
+	te.w.Go(func(r *mpi.Rank) {
+		cl := te.fs.Client(r.Proc(), 0, nil)
+		var oerr error
+		reopened, oerr = Open(ds.File(), cl)
+		if oerr != nil {
+			t.Error(oerr)
+		}
+	})
+	if err := te.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	check(reopened, "reopened")
+}
+
+func TestAttrsHeaderRoundTripFull(t *testing.T) {
+	var s Schema
+	a, _ := s.AddVar("a", Float32, []int64{4, 4})
+	b, _ := s.AddVar("b", Int64, []int64{9})
+	s.AddGlobalAttr(TextAttr("history", "created by test"))
+	s.AddVarAttr(a, FloatAttr("scale_factor", 0.5))
+	s.AddVarAttr(b, IntAttr("valid_min", -7))
+	s.AddVarAttr(b, TextAttr("long_name", "counts"))
+	s.Layout()
+	vars, global, varAttrs, err := decodeHeader(s.encodeHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vars, s.vars) {
+		t.Fatal("vars mismatch")
+	}
+	if !reflect.DeepEqual(global, s.globalAttrs) {
+		t.Fatalf("global attrs: %+v vs %+v", global, s.globalAttrs)
+	}
+	if !reflect.DeepEqual(varAttrs[a], s.varAttrs[a]) || !reflect.DeepEqual(varAttrs[b], s.varAttrs[b]) {
+		t.Fatalf("var attrs: %+v vs %+v", varAttrs, s.varAttrs)
+	}
+}
+
+// attrCase generates a random valid attribute for quick.Check.
+type attrCase struct{ A Attr }
+
+// Generate implements quick.Generator.
+func (attrCase) Generate(rng *rand.Rand, size int) reflect.Value {
+	name := randName(rng)
+	var a Attr
+	switch rng.Intn(3) {
+	case 0:
+		a = TextAttr(name, randName(rng))
+	case 1:
+		a = FloatAttr(name, rng.NormFloat64()*1e6)
+	default:
+		a = IntAttr(name, rng.Int63()-rng.Int63())
+	}
+	return reflect.ValueOf(attrCase{a})
+}
+
+func randName(rng *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz_"
+	n := 1 + rng.Intn(24)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+// Property (testing/quick): encodeAttr/decodeAttr is the identity.
+func TestQuickAttrRoundTrip(t *testing.T) {
+	f := func(c attrCase) bool {
+		buf := make([]byte, attrBytes(c.A)+16)
+		end := encodeAttr(buf, 0, c.A)
+		if int64(end) != attrBytes(c.A) {
+			return false
+		}
+		got, pos, err := decodeAttr(buf, 0)
+		return err == nil && pos == end && reflect.DeepEqual(got, c.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeAttrRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeAttr([]byte{1, 2}, 0); err == nil {
+		t.Error("tiny buffer accepted")
+	}
+	// Attribute with an absurd name length.
+	buf := make([]byte, 32)
+	buf[0] = 0xFF
+	buf[1] = 0xFF
+	buf[2] = 0xFF
+	buf[3] = 0xFF
+	if _, _, err := decodeAttr(buf, 0); err == nil {
+		t.Error("absurd name length accepted")
+	}
+	// Unknown kind.
+	a := TextAttr("x", "y")
+	good := make([]byte, attrBytes(a))
+	encodeAttr(good, 0, a)
+	good[8+1] = 99 // corrupt the kind field (name is 1 byte)
+	if _, _, err := decodeAttr(good, 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

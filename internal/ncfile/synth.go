@@ -1,0 +1,123 @@
+package ncfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/layout"
+	"repro/internal/pfs"
+)
+
+// ValueFn produces a variable's value at logical coordinates. It must be
+// deterministic and cheap: synthetic files are regenerated on every read.
+type ValueFn func(coords []int64) float64
+
+// SynthDataset creates a dataset whose variable contents are generated on
+// demand by per-variable value functions — virtual files of hundreds of GB
+// with no resident data, the substitution for the paper's 800 GB climate
+// dataset and WRF outputs. fns is indexed by variable id; a nil entry yields
+// zeros.
+func SynthDataset(fs *pfs.FS, name string, s *Schema, fns []ValueFn,
+	stripeCount int, stripeSize int64, firstOST int) (*Dataset, error) {
+	if len(s.vars) == 0 {
+		return nil, fmt.Errorf("ncfile: schema has no variables")
+	}
+	if len(fns) != len(s.vars) {
+		return nil, fmt.Errorf("ncfile: %d value functions for %d variables", len(fns), len(s.vars))
+	}
+	size := s.Layout()
+	vars := append([]Var(nil), s.vars...)
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Offset < vars[j].Offset })
+	// Map sorted position back to schema id for fns lookup.
+	fnOf := make([]ValueFn, len(vars))
+	for i, v := range vars {
+		id, _ := idOf(s, v.Name)
+		fnOf[i] = fns[id]
+	}
+	fill := func(off int64, p []byte) {
+		for i := range p {
+			p[i] = 0
+		}
+		lo, hi := off, off+int64(len(p))
+		// First variable whose data extends past lo.
+		i := sort.Search(len(vars), func(i int) bool {
+			return vars[i].Offset+vars[i].Bytes() > lo
+		})
+		for ; i < len(vars) && vars[i].Offset < hi; i++ {
+			fillVar(&vars[i], fnOf[i], lo, hi, p)
+		}
+	}
+	backend := pfs.NewSynthBackend(size, fill)
+	f := fs.Create(name, backend, stripeCount, stripeSize, firstOST)
+	return newDataset(f, s.vars, s.globalAttrs, s.varAttrs)
+}
+
+func idOf(s *Schema, name string) (int, bool) {
+	for i, v := range s.vars {
+		if v.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// fillVar writes the bytes of v that fall within [lo, hi) into
+// p[...] (p corresponds to file range [lo, hi)).
+func fillVar(v *Var, fn ValueFn, lo, hi int64, p []byte) {
+	vlo, vhi := v.Offset, v.Offset+v.Bytes()
+	if lo > vlo {
+		vlo = lo
+	}
+	if hi < vhi {
+		vhi = hi
+	}
+	if vhi <= vlo {
+		return
+	}
+	sz := v.Type.Size()
+	firstElem := (vlo - v.Offset) / sz
+	lastElem := (vhi - v.Offset + sz - 1) / sz // exclusive
+	coords := layout.OffsetToCoords(v.Dims, firstElem, nil)
+	var tmp [8]byte
+	nd := len(v.Dims)
+	for e := firstElem; e < lastElem; e++ {
+		var val float64
+		if fn != nil {
+			val = fn(coords)
+		}
+		encodeOne(v.Type, val, tmp[:])
+		// Byte range of this element within the file.
+		eLo := v.Offset + e*sz
+		for b := int64(0); b < sz; b++ {
+			fo := eLo + b
+			if fo >= lo && fo < hi {
+				p[fo-lo] = tmp[b]
+			}
+		}
+		// Odometer increment.
+		for d := nd - 1; d >= 0; d-- {
+			coords[d]++
+			if coords[d] < v.Dims[d] {
+				break
+			}
+			coords[d] = 0
+		}
+	}
+}
+
+// encodeOne writes a single value of type t into the first t.Size() bytes.
+func encodeOne(t Type, v float64, dst []byte) {
+	le := binary.LittleEndian
+	switch t {
+	case Float32:
+		le.PutUint32(dst, math.Float32bits(float32(v)))
+	case Float64:
+		le.PutUint64(dst, math.Float64bits(v))
+	case Int32:
+		le.PutUint32(dst, uint32(int32(v)))
+	case Int64:
+		le.PutUint64(dst, uint64(int64(v)))
+	}
+}

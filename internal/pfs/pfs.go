@@ -1,0 +1,387 @@
+// Package pfs models a Lustre-like parallel file system: files are striped
+// round-robin over a set of OSTs (object storage targets), each OST is a
+// single FIFO server with a per-request latency and a service bandwidth, and
+// clients pay a small CPU cost to issue each request.
+//
+// Data is real: reads return actual bytes from a backend (an in-memory store
+// or a deterministic synthetic generator), so computation layered on top is
+// genuinely performed and verifiable — only the *timing* is simulated.
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Params describes the storage system. Zero values are replaced by
+// Hopper-like defaults via Defaults.
+type Params struct {
+	// NumOSTs is the number of OSTs in the file system (Hopper: 156).
+	NumOSTs int
+	// OSTBandwidth is each OST's service bandwidth (bytes/second). With 156
+	// OSTs at 250 MB/s the aggregate is ~39 GB/s, near Hopper's 35 GB/s peak.
+	OSTBandwidth float64
+	// OSTLatency is the per-request service latency (seek + RPC).
+	OSTLatency float64
+	// ClientOverhead is CPU time a client spends issuing one request.
+	ClientOverhead float64
+	// DefaultStripeSize is used when a file is created with stripe size 0.
+	DefaultStripeSize int64
+}
+
+// Defaults fills unset fields.
+func (p Params) Defaults() Params {
+	if p.NumOSTs == 0 {
+		p.NumOSTs = 156
+	}
+	if p.OSTBandwidth == 0 {
+		p.OSTBandwidth = 250e6
+	}
+	if p.OSTLatency == 0 {
+		p.OSTLatency = 0.5e-3
+	}
+	if p.ClientOverhead == 0 {
+		p.ClientOverhead = 10e-6
+	}
+	if p.DefaultStripeSize == 0 {
+		p.DefaultStripeSize = 4 << 20
+	}
+	return p
+}
+
+// FS is a simulated parallel file system.
+type FS struct {
+	env    *sim.Env
+	params Params
+	osts   []*sim.Resource
+	slow   []float64 // per-OST service-time multiplier (0 = 1.0)
+
+	// Stats.
+	BytesRead    int64
+	BytesWritten int64
+	Requests     int64
+}
+
+// New creates a file system in env. Params are defaulted.
+func New(env *sim.Env, p Params) *FS {
+	p = p.Defaults()
+	fs := &FS{env: env, params: p}
+	fs.osts = make([]*sim.Resource, p.NumOSTs)
+	fs.slow = make([]float64, p.NumOSTs)
+	for i := range fs.osts {
+		fs.osts[i] = env.NewResource(fmt.Sprintf("ost%d", i))
+	}
+	return fs
+}
+
+// SlowOST injects a straggler: OST i serves every request factor times
+// slower from now on (factor 1 restores normal speed). Used to study
+// robustness to storage noise, the paper's fault-tolerance future work.
+func (fs *FS) SlowOST(i int, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	fs.slow[i] = factor
+}
+
+// slowFactor returns the current service-time multiplier of OST i.
+func (fs *FS) slowFactor(i int) float64 {
+	if fs.slow[i] > 1 {
+		return fs.slow[i]
+	}
+	return 1
+}
+
+// Params returns the (defaulted) parameters in use.
+func (fs *FS) Params() Params { return fs.params }
+
+// OSTBusyTimes returns each OST's cumulative busy time, for load reports.
+func (fs *FS) OSTBusyTimes() []float64 {
+	out := make([]float64, len(fs.osts))
+	for i, o := range fs.osts {
+		out[i] = o.BusyTime
+	}
+	return out
+}
+
+// Backend supplies file contents. Offsets are absolute file offsets.
+type Backend interface {
+	// ReadAt fills p with the bytes at offset off.
+	ReadAt(p []byte, off int64)
+	// WriteAt stores p at offset off.
+	WriteAt(p []byte, off int64)
+	// Size returns the current logical file size.
+	Size() int64
+}
+
+// MemBackend is an in-memory backing store that grows on write.
+type MemBackend struct {
+	data []byte
+}
+
+// NewMemBackend returns a store pre-sized to size zero bytes.
+func NewMemBackend(size int64) *MemBackend {
+	return &MemBackend{data: make([]byte, size)}
+}
+
+// ReadAt implements Backend; reads past EOF yield zeros.
+func (m *MemBackend) ReadAt(p []byte, off int64) {
+	for i := range p {
+		p[i] = 0
+	}
+	if off < int64(len(m.data)) {
+		copy(p, m.data[off:])
+	}
+}
+
+// WriteAt implements Backend, growing the store as needed.
+func (m *MemBackend) WriteAt(p []byte, off int64) {
+	if need := off + int64(len(p)); need > int64(len(m.data)) {
+		grown := make([]byte, need)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	copy(m.data[off:], p)
+}
+
+// Size implements Backend.
+func (m *MemBackend) Size() int64 { return int64(len(m.data)) }
+
+// Bytes exposes the raw store for test assertions.
+func (m *MemBackend) Bytes() []byte { return m.data }
+
+// SynthBackend generates file contents on demand with a deterministic fill
+// function, so virtual files of hundreds of GB need no resident memory. It
+// is read-only; writes panic.
+type SynthBackend struct {
+	size int64
+	fill func(off int64, p []byte)
+}
+
+// NewSynthBackend returns a synthetic file of the given size whose contents
+// at offset off are produced by fill (which must be deterministic in off).
+func NewSynthBackend(size int64, fill func(off int64, p []byte)) *SynthBackend {
+	return &SynthBackend{size: size, fill: fill}
+}
+
+// ReadAt implements Backend.
+func (s *SynthBackend) ReadAt(p []byte, off int64) { s.fill(off, p) }
+
+// WriteAt implements Backend by panicking: synthetic files are read-only.
+func (s *SynthBackend) WriteAt(p []byte, off int64) {
+	panic("pfs: write to read-only synthetic backend")
+}
+
+// Size implements Backend.
+func (s *SynthBackend) Size() int64 { return s.size }
+
+// File is a striped file.
+type File struct {
+	fs          *FS
+	name        string
+	backend     Backend
+	stripeSize  int64
+	stripeCount int // number of OSTs the file is striped over
+	firstOST    int // starting OST index for round-robin placement
+}
+
+// Create registers a file striped over stripeCount OSTs (starting at OST
+// firstOST, wrapping) with the given stripe size (0 = FS default).
+func (fs *FS) Create(name string, backend Backend, stripeCount int, stripeSize int64, firstOST int) *File {
+	if stripeCount <= 0 || stripeCount > len(fs.osts) {
+		panic(fmt.Sprintf("pfs: stripe count %d with %d OSTs", stripeCount, len(fs.osts)))
+	}
+	if stripeSize <= 0 {
+		stripeSize = fs.params.DefaultStripeSize
+	}
+	return &File{fs: fs, name: name, backend: backend,
+		stripeSize: stripeSize, stripeCount: stripeCount,
+		firstOST: ((firstOST % len(fs.osts)) + len(fs.osts)) % len(fs.osts)}
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the backend size.
+func (f *File) Size() int64 { return f.backend.Size() }
+
+// StripeSize returns the stripe size in bytes.
+func (f *File) StripeSize() int64 { return f.stripeSize }
+
+// StripeCount returns the number of OSTs the file is striped over.
+func (f *File) StripeCount() int { return f.stripeCount }
+
+// ostIndexFor returns the OST index serving the stripe containing off.
+func (f *File) ostIndexFor(off int64) int {
+	stripe := off / f.stripeSize
+	return (f.firstOST + int(stripe%int64(f.stripeCount))) % len(f.fs.osts)
+}
+
+// pieces invokes fn for each maximal stripe-contained piece of [off,off+n).
+func (f *File) pieces(off, n int64, fn func(pieceOff, pieceLen int64)) {
+	for n > 0 {
+		inStripe := f.stripeSize - off%f.stripeSize
+		if inStripe > n {
+			inStripe = n
+		}
+		fn(off, inStripe)
+		off += inStripe
+		n -= inStripe
+	}
+}
+
+// Client is a per-rank handle that charges I/O time to a specific simulated
+// process and reports it to a tracer.
+type Client struct {
+	fs     *FS
+	proc   *sim.Proc
+	rank   int
+	tracer trace.Tracer
+}
+
+// Client creates a handle for the given process. tracer may be nil.
+func (fs *FS) Client(proc *sim.Proc, rank int, tracer trace.Tracer) *Client {
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	return &Client{fs: fs, proc: proc, rank: rank, tracer: tracer}
+}
+
+// Read performs one blocking contiguous read of len(buf) bytes at offset
+// off. Stripe pieces on different OSTs are serviced concurrently (completion
+// is their max); pieces on the same OST queue. Returns the completion time.
+func (cl *Client) Read(f *File, buf []byte, off int64) float64 {
+	return cl.transfer(f, buf, off, false)
+}
+
+// Write performs one blocking contiguous write, symmetric with Read.
+func (cl *Client) Write(f *File, buf []byte, off int64) float64 {
+	return cl.transfer(f, buf, off, true)
+}
+
+func (cl *Client) transfer(f *File, buf []byte, off int64, write bool) float64 {
+	if len(buf) == 0 {
+		return cl.proc.Now()
+	}
+	p := cl.fs.params
+	t0 := cl.proc.Now()
+	// Issue cost: one client CPU overhead per OST request piece.
+	var npieces int
+	end := t0
+	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
+	issueDone := t0 + float64(npieces)*p.ClientOverhead
+	f.pieces(off, int64(len(buf)), func(po, pl int64) {
+		i := f.ostIndexFor(po)
+		svc := (p.OSTLatency + float64(pl)/p.OSTBandwidth) * cl.fs.slowFactor(i)
+		_, pieceEnd := cl.fs.osts[i].Reserve(issueDone, svc)
+		if pieceEnd > end {
+			end = pieceEnd
+		}
+	})
+	cl.fs.Requests += int64(npieces)
+	if write {
+		f.backend.WriteAt(buf, off)
+		cl.fs.BytesWritten += int64(len(buf))
+	} else {
+		f.backend.ReadAt(buf, off)
+		cl.fs.BytesRead += int64(len(buf))
+	}
+	cl.proc.SleepUntil(issueDone)
+	cl.tracer.Record(cl.rank, trace.Sys, t0, cl.proc.Now())
+	w0 := cl.proc.Now()
+	cl.proc.SleepUntil(end)
+	if cl.proc.Now() > w0 {
+		cl.tracer.Record(cl.rank, trace.WaitIO, w0, cl.proc.Now())
+	}
+	return cl.proc.Now()
+}
+
+// ReadAsync starts a read without blocking the client beyond the issue
+// overhead; the returned completion time is when the data is in buf. Used by
+// the non-blocking two-phase pipeline to overlap reading with shuffling.
+func (cl *Client) ReadAsync(f *File, buf []byte, off int64) (done float64) {
+	if len(buf) == 0 {
+		return cl.proc.Now()
+	}
+	p := cl.fs.params
+	t0 := cl.proc.Now()
+	var npieces int
+	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
+	issueDone := t0 + float64(npieces)*p.ClientOverhead
+	end := issueDone
+	f.pieces(off, int64(len(buf)), func(po, pl int64) {
+		i := f.ostIndexFor(po)
+		svc := (p.OSTLatency + float64(pl)/p.OSTBandwidth) * cl.fs.slowFactor(i)
+		_, pieceEnd := cl.fs.osts[i].Reserve(issueDone, svc)
+		if pieceEnd > end {
+			end = pieceEnd
+		}
+	})
+	cl.fs.Requests += int64(npieces)
+	f.backend.ReadAt(buf, off)
+	cl.fs.BytesRead += int64(len(buf))
+	cl.proc.SleepUntil(issueDone)
+	cl.tracer.Record(cl.rank, trace.Sys, t0, cl.proc.Now())
+	return end
+}
+
+// AwaitIO blocks the client until time done (a completion returned by
+// ReadAsync), recording the gap as I/O wait.
+func (cl *Client) AwaitIO(done float64) {
+	w0 := cl.proc.Now()
+	cl.proc.SleepUntil(done)
+	if cl.proc.Now() > w0 {
+		cl.tracer.Record(cl.rank, trace.WaitIO, w0, cl.proc.Now())
+	}
+}
+
+// Proc returns the client's simulated process.
+func (cl *Client) Proc() *sim.Proc { return cl.proc }
+
+// ReadSparse models one contiguous read of [off, off+len(buf)) — identical
+// timing, statistics and OST contention to Read — but materializes only the
+// given piece ranges (absolute file offsets, sorted, within the extent) into
+// buf. Two-phase I/O reads covering extents whose holes are never consumed;
+// skipping their generation makes synthetic paper-scale runs affordable
+// without changing anything observable.
+func (cl *Client) ReadSparse(f *File, buf []byte, off int64, pieces []layout.Run) float64 {
+	done := cl.ReadSparseAsync(f, buf, off, pieces)
+	cl.AwaitIO(done)
+	return cl.proc.Now()
+}
+
+// ReadSparseAsync is to ReadSparse what ReadAsync is to Read.
+func (cl *Client) ReadSparseAsync(f *File, buf []byte, off int64, pieces []layout.Run) (done float64) {
+	if len(buf) == 0 {
+		return cl.proc.Now()
+	}
+	p := cl.fs.params
+	t0 := cl.proc.Now()
+	var npieces int
+	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
+	issueDone := t0 + float64(npieces)*p.ClientOverhead
+	end := issueDone
+	f.pieces(off, int64(len(buf)), func(po, pl int64) {
+		i := f.ostIndexFor(po)
+		svc := (p.OSTLatency + float64(pl)/p.OSTBandwidth) * cl.fs.slowFactor(i)
+		_, pieceEnd := cl.fs.osts[i].Reserve(issueDone, svc)
+		if pieceEnd > end {
+			end = pieceEnd
+		}
+	})
+	cl.fs.Requests += int64(npieces)
+	for _, pc := range pieces {
+		lo := pc.Offset - off
+		if lo < 0 || pc.End()-off > int64(len(buf)) {
+			panic(fmt.Sprintf("pfs: sparse piece %+v outside extent [%d,+%d)", pc, off, len(buf)))
+		}
+		f.backend.ReadAt(buf[lo:lo+pc.Length], pc.Offset)
+	}
+	cl.fs.BytesRead += int64(len(buf))
+	cl.proc.SleepUntil(issueDone)
+	cl.tracer.Record(cl.rank, trace.Sys, t0, cl.proc.Now())
+	return end
+}

@@ -1,0 +1,378 @@
+// Package sim provides a deterministic, sequential discrete-event
+// simulation kernel. Simulated processes are ordinary goroutines, but the
+// scheduler runs exactly one of them at a time and hands control between
+// them in virtual-timestamp order, so a simulation is fully deterministic:
+// the same program produces the same event order and the same virtual
+// timings on every run.
+//
+// The kernel knows nothing about networks, file systems or MPI; it provides
+// three primitives on which those models are built:
+//
+//   - processes (Spawn) with a virtual clock (Now, Sleep, SleepUntil),
+//   - mailboxes (NewMailbox) carrying payloads that become visible to the
+//     receiver at a sender-chosen ready time, and
+//   - resources (NewResource), single FIFO servers used to model contended
+//     devices such as OSTs and NICs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Env is a simulation environment. It owns the virtual clock and the event
+// queue. Create one with NewEnv, add processes with Spawn, then call Run.
+// An Env must not be shared between real OS threads; all access happens from
+// the goroutine that calls Run and from the (serialized) process goroutines.
+type Env struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	yield   chan struct{} // token returned by the running process
+	live    int           // spawned processes that have not finished
+	blocked map[*Proc]string
+	procSeq int
+}
+
+// NewEnv returns an empty environment with the clock at 0.
+func NewEnv() *Env {
+	return &Env{
+		yield:   make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+type event struct {
+	t   float64
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	p   *Proc  // process to resume, or nil for fn
+	gen uint64 // p's generation when scheduled; stale events are skipped
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (e *Env) schedule(t float64, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{t: t, seq: e.seq, p: p, gen: p.gen})
+}
+
+// At schedules fn to run at virtual time t (clamped to now). fn runs on the
+// scheduler, not inside any process, so it must not block.
+func (e *Env) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{t: t, seq: e.seq, fn: fn})
+}
+
+// Proc is a simulated process. All Proc methods must be called only from the
+// process's own goroutine (the function passed to Spawn), never from outside
+// the simulation or from another process.
+type Proc struct {
+	env      *Env
+	name     string
+	id       int
+	resume   chan struct{}
+	gen      uint64
+	finished bool
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment that owns this process.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time. It is a convenience for p.Env().Now().
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Spawn creates a process that will start running at the current virtual
+// time. The returned Proc must be used only inside fn.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{env: e, name: name, id: e.procSeq, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.finished = true
+		e.live--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// yieldAndWait hands the scheduler token back and parks until resumed.
+func (p *Proc) yieldAndWait() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// SleepUntil advances the process's clock to t. If t is in the past it
+// returns immediately.
+func (p *Proc) SleepUntil(t float64) {
+	if t <= p.env.now {
+		return
+	}
+	p.env.schedule(t, p)
+	p.yieldAndWait()
+}
+
+// Sleep advances the process's clock by d seconds (negative d is a no-op).
+func (p *Proc) Sleep(d float64) { p.SleepUntil(p.env.now + d) }
+
+// Block parks the process with no scheduled wake-up; some other process must
+// call Unblock. why is reported in the deadlock error if nothing ever does.
+func (p *Proc) Block(why string) {
+	p.env.blocked[p] = why
+	p.yieldAndWait()
+}
+
+// Unblock schedules a parked process to resume at time t (clamped to now).
+// It is a no-op if the process is not currently blocked; this makes it safe
+// to wake all waiters of a condition and let each re-check.
+func (p *Proc) Unblock(t float64) {
+	if _, ok := p.env.blocked[p]; !ok {
+		return
+	}
+	delete(p.env.blocked, p)
+	p.env.schedule(t, p)
+}
+
+// Blocked reports whether the process is parked in Block.
+func (p *Proc) Blocked() bool {
+	_, ok := p.env.blocked[p]
+	return ok
+}
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still parked in Block.
+type DeadlockError struct {
+	// Waiting maps each parked process name to the reason it gave to Block.
+	Waiting map[string]string
+}
+
+func (d *DeadlockError) Error() string {
+	names := make([]string, 0, len(d.Waiting))
+	for n := range d.Waiting {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("sim: deadlock, %d process(es) blocked:", len(names))
+	for _, n := range names {
+		s += fmt.Sprintf(" [%s: %s]", n, d.Waiting[n])
+	}
+	return s
+}
+
+// Run drives the simulation until no events remain. It returns a
+// *DeadlockError if processes are still blocked when the queue drains, and
+// nil otherwise. Run must be called exactly once per Env.
+func (e *Env) Run() error {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		if ev.t < e.now {
+			// schedule clamps, so this is a kernel invariant violation.
+			panic(fmt.Sprintf("sim: time went backwards: %g < %g", ev.t, e.now))
+		}
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		p := ev.p
+		if p.finished || ev.gen != p.gen {
+			continue // stale wake-up superseded by an earlier one
+		}
+		if _, stillBlocked := e.blocked[p]; stillBlocked {
+			// Every live event for p was scheduled while p was parked on its
+			// resume channel and off the blocked map; gen filtering removes
+			// the rest. Reaching here is a kernel bug, not a user error.
+			panic("sim: scheduled wake-up for a process parked in Block")
+		}
+		p.gen++
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	if len(e.blocked) > 0 {
+		d := &DeadlockError{Waiting: make(map[string]string, len(e.blocked))}
+		for p, why := range e.blocked {
+			d.Waiting[p.name] = why
+		}
+		return d
+	}
+	return nil
+}
+
+// Resource is a single FIFO server: each reservation occupies it for a
+// service duration, and overlapping requests queue behind one another. It
+// models contended serial devices (an OST, a NIC port, a memory channel).
+type Resource struct {
+	name     string
+	nextFree float64
+
+	// Stats, exposed for experiment reporting.
+	Requests int
+	BusyTime float64
+}
+
+// NewResource returns a resource that is free at time 0.
+func (e *Env) NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Reserve books the resource for service seconds starting no earlier than
+// at, queueing behind existing reservations. It returns the actual start and
+// end times and does not block the caller; use Proc.SleepUntil(end) to model
+// the requester waiting for completion. Reservations must be made in
+// non-decreasing `at` order per simulation (guaranteed when called from
+// process context, since virtual time is global and monotonic).
+func (r *Resource) Reserve(at, service float64) (start, end float64) {
+	start = math.Max(at, r.nextFree)
+	end = start + service
+	r.nextFree = end
+	r.Requests++
+	r.BusyTime += service
+	return start, end
+}
+
+// NextFree returns the earliest time a new reservation could start.
+func (r *Resource) NextFree() float64 { return r.nextFree }
+
+// Message is a payload in flight inside a Mailbox, visible to receivers at
+// Ready. Bytes is carried for the benefit of higher layers (cost models,
+// statistics); the kernel does not interpret it.
+type Message struct {
+	Payload interface{}
+	Bytes   int64
+	Ready   float64
+	seq     uint64
+}
+
+type msgHeap []Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].Ready != h[j].Ready {
+		return h[i].Ready < h[j].Ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(Message)) }
+func (h *msgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}
+
+// Mailbox is an unbounded, ready-time-ordered message queue. Senders deliver
+// with an arrival time (computed by a network model); Recv blocks the
+// receiving process until the earliest message is ready and then returns it.
+type Mailbox struct {
+	env     *Env
+	name    string
+	q       msgHeap
+	waiters []*Proc
+}
+
+// NewMailbox returns an empty mailbox.
+func (e *Env) NewMailbox(name string) *Mailbox {
+	return &Mailbox{env: e, name: name}
+}
+
+// Len returns the number of queued messages (ready or not).
+func (mb *Mailbox) Len() int { return len(mb.q) }
+
+// Send queues payload, visible to receivers at time ready (clamped to now).
+// Send never blocks; it may be called from process context or from an At
+// callback.
+func (mb *Mailbox) Send(payload interface{}, bytes int64, ready float64) {
+	if ready < mb.env.now {
+		ready = mb.env.now
+	}
+	mb.env.seq++
+	heap.Push(&mb.q, Message{Payload: payload, Bytes: bytes, Ready: ready, seq: mb.env.seq})
+	// Wake waiters now; each re-checks readiness in its Recv loop and, if
+	// the earliest message is still in flight, re-parks with a timer at its
+	// ready time. Waking at `now` (not at the ready time) is what lets a
+	// later, earlier-ready message shorten the wait.
+	for _, w := range mb.waiters {
+		w.Unblock(mb.env.now)
+	}
+	mb.waiters = nil
+}
+
+// Recv blocks p until a message is ready, then removes and returns the
+// earliest-ready one, advancing p's clock to its ready time.
+func (mb *Mailbox) Recv(p *Proc) Message {
+	for {
+		why := "recv " + mb.name
+		if len(mb.q) > 0 {
+			earliest := mb.q[0]
+			if earliest.Ready <= p.env.now {
+				return heap.Pop(&mb.q).(Message)
+			}
+			// Park until the earliest known ready time; an earlier delivery
+			// re-wakes us sooner via the waiters list. The timer guards on
+			// gen so it becomes a no-op if anything woke p first.
+			t, gen := earliest.Ready, p.gen
+			p.env.At(t, func() {
+				if p.gen == gen {
+					p.Unblock(t)
+				}
+			})
+			why = "recv(pending) " + mb.name
+		}
+		mb.waiters = append(mb.waiters, p)
+		p.Block(why)
+		mb.dropWaiter(p)
+	}
+}
+
+// TryRecv returns the earliest message if one is ready now, without blocking.
+func (mb *Mailbox) TryRecv() (Message, bool) {
+	if len(mb.q) > 0 && mb.q[0].Ready <= mb.env.now {
+		return heap.Pop(&mb.q).(Message), true
+	}
+	return Message{}, false
+}
+
+func (mb *Mailbox) dropWaiter(p *Proc) {
+	for i, w := range mb.waiters {
+		if w == p {
+			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)
+			return
+		}
+	}
+}

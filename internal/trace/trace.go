@@ -1,0 +1,55 @@
+// Package trace defines the minimal interface through which the runtime
+// layers (mpi, pfs, adio, cc) report where each rank's virtual time goes.
+// The metrics package implements Tracer; everything else only emits.
+//
+// The kinds map onto the CPU-accounting categories of the paper's Figures
+// 2-3: Compute ≈ user%, Sys ≈ sys% (issuing I/O, packing, injecting
+// messages), WaitIO/WaitComm ≈ wait%.
+package trace
+
+// Kind classifies an interval of a rank's virtual time.
+type Kind uint8
+
+const (
+	// Compute is application computation (the map/reduce work itself).
+	Compute Kind = iota
+	// Sys is kernel-ish CPU work: issuing I/O requests, memory copies,
+	// packing/unpacking buffers, message injection overhead.
+	Sys
+	// WaitIO is time blocked waiting for storage.
+	WaitIO
+	// WaitComm is time blocked waiting for messages.
+	WaitComm
+	numKinds
+)
+
+// NumKinds is the number of interval kinds.
+const NumKinds = int(numKinds)
+
+// String returns the short name used in reports.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "user"
+	case Sys:
+		return "sys"
+	case WaitIO:
+		return "wait-io"
+	case WaitComm:
+		return "wait-comm"
+	}
+	return "unknown"
+}
+
+// Tracer receives intervals of classified rank time. Implementations must
+// tolerate zero-length and out-of-order intervals (ranks progress
+// independently). t0 <= t1 always holds.
+type Tracer interface {
+	Record(rank int, kind Kind, t0, t1 float64)
+}
+
+// Nop is a Tracer that discards everything.
+type Nop struct{}
+
+// Record implements Tracer.
+func (Nop) Record(int, Kind, float64, float64) {}

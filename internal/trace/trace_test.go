@@ -1,0 +1,34 @@
+package trace
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		Compute:  "user",
+		Sys:      "sys",
+		WaitIO:   "wait-io",
+		WaitComm: "wait-comm",
+		Kind(99): "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNumKindsCoversAll(t *testing.T) {
+	if NumKinds != 4 {
+		t.Fatalf("NumKinds = %d; update the metrics arrays if kinds changed", NumKinds)
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestNopDiscards(t *testing.T) {
+	var n Nop
+	n.Record(0, Compute, 0, 1) // must not panic
+}

@@ -1,0 +1,171 @@
+// Package wrf models the Weather Research & Forecasting outputs of the
+// paper's application evaluation (§IV-C): a hurricane simulation with a
+// sea-level-pressure field and a 10 m wind-speed field, plus the two
+// analysis tasks the paper extracts — "Min Sea-Level Pressure (hPa)" and
+// "Max 10 m wind speed (knots)". The fields are analytic (a moving
+// pressure low with a Rankine-like wind ring), deterministic, and cheap, so
+// the tasks' answers are verifiable against closed-form expectations.
+package wrf
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/layout"
+	"repro/internal/ncfile"
+	"repro/internal/pfs"
+)
+
+// Storm describes the synthetic hurricane over a (Time, Y, X) grid.
+type Storm struct {
+	// Grid dimensions: time steps, south-north, west-east.
+	NT, NY, NX int64
+	// Track: eye starts at (Y0, X0) and moves (VY, VX) cells per step.
+	Y0, X0, VY, VX float64
+	// CoreRadius is the radius of maximum wind in cells.
+	CoreRadius float64
+	// Depth is the central pressure deficit in hPa.
+	Depth float64
+	// MaxWind is the peak 10 m wind in knots.
+	MaxWind float64
+	// Deepening makes the storm intensify over time (fraction per step).
+	Deepening float64
+}
+
+// DefaultStorm returns a storm sized to the given grid.
+func DefaultStorm(nt, ny, nx int64) Storm {
+	return Storm{
+		NT: nt, NY: ny, NX: nx,
+		Y0: float64(ny) * 0.2, X0: float64(nx) * 0.2,
+		VY: float64(ny) * 0.6 / float64(nt), VX: float64(nx) * 0.6 / float64(nt),
+		CoreRadius: float64(nx) * 0.05,
+		Depth:      80, MaxWind: 120,
+		Deepening: 0.5 / float64(nt),
+	}
+}
+
+// eye returns the eye position at step t.
+func (s Storm) eye(t float64) (y, x float64) {
+	return s.Y0 + s.VY*t, s.X0 + s.VX*t
+}
+
+// intensity is the deepening factor at step t, in (0, 1].
+func (s Storm) intensity(t float64) float64 {
+	f := 0.5 + s.Deepening*t
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// shape is a cheap Rankine-like radial profile: 1 at d=0 decaying smoothly,
+// implemented without exp.
+func shape(d2, r2 float64) float64 {
+	return 1 / (1 + d2/r2)
+}
+
+// SLP is the sea-level pressure (hPa) at (t, y, x): ambient 1013 minus a
+// moving low.
+func (s Storm) SLP(c []int64) float64 {
+	t := float64(c[0])
+	ey, ex := s.eye(t)
+	dy, dx := float64(c[1])-ey, float64(c[2])-ex
+	d2 := dy*dy + dx*dx
+	r2 := s.CoreRadius * s.CoreRadius * 9
+	return 1013 - s.Depth*s.intensity(t)*shape(d2, r2)
+}
+
+// Wind10 is the 10 m wind speed (knots) at (t, y, x): a ring of maximum
+// winds at CoreRadius around the eye.
+func (s Storm) Wind10(c []int64) float64 {
+	t := float64(c[0])
+	ey, ex := s.eye(t)
+	dy, dx := float64(c[1])-ey, float64(c[2])-ex
+	d2 := dy*dy + dx*dx
+	r2 := s.CoreRadius * s.CoreRadius
+	// Rankine-like: v ∝ d inside the core, ∝ 1/d outside; smooth rational
+	// form peaking at d = CoreRadius.
+	ratio := d2 / r2
+	prof := 2 * ratio / (1 + ratio*ratio)
+	return s.MaxWind * s.intensity(t) * prof
+}
+
+// Dataset holds an open WRF-like output file.
+type Dataset struct {
+	DS      *ncfile.Dataset
+	SLPVar  int
+	WindVar int
+	Storm   Storm
+}
+
+// NewDataset creates the synthetic WRF output with "slp" and "wind10"
+// float32 variables of shape (NT, NY, NX).
+func NewDataset(fs *pfs.FS, storm Storm, stripeCount int, stripeSize int64) (*Dataset, error) {
+	dims := []int64{storm.NT, storm.NY, storm.NX}
+	var s ncfile.Schema
+	slp, err := s.AddVar("slp", ncfile.Float32, dims)
+	if err != nil {
+		return nil, err
+	}
+	wind, err := s.AddVar("wind10", ncfile.Float32, dims)
+	if err != nil {
+		return nil, err
+	}
+	s.AddGlobalAttr(ncfile.TextAttr("title", "synthetic WRF hurricane output"))
+	s.AddVarAttr(slp, ncfile.TextAttr("units", "hPa"))
+	s.AddVarAttr(slp, ncfile.TextAttr("long_name", "sea level pressure"))
+	s.AddVarAttr(wind, ncfile.TextAttr("units", "knots"))
+	s.AddVarAttr(wind, ncfile.TextAttr("long_name", "10m wind speed"))
+	ds, err := ncfile.SynthDataset(fs, "wrfout", &s,
+		[]ncfile.ValueFn{storm.SLP, storm.Wind10}, stripeCount, stripeSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{DS: ds, SLPVar: slp, WindVar: wind, Storm: storm}, nil
+}
+
+// Task is one of the paper's WRF analysis tasks.
+type Task struct {
+	Name  string
+	VarID int
+	Op    cc.Op
+}
+
+// MinSLPTask is the "Min Sea-Level Pressure (hPa)" analysis.
+func (d *Dataset) MinSLPTask() Task {
+	return Task{Name: "Min Sea-Level Pressure (hPa)", VarID: d.SLPVar, Op: cc.MinLoc{}}
+}
+
+// MaxWindTask is the "Max 10m wind speed (knots)" analysis.
+func (d *Dataset) MaxWindTask() Task {
+	return Task{Name: "Max 10m wind speed (knots)", VarID: d.WindVar, Op: cc.MaxLoc{}}
+}
+
+// FullSlab selects the entire grid.
+func (d *Dataset) FullSlab() layout.Slab {
+	v, _ := d.DS.Var(d.SLPVar)
+	return layout.Slab{Start: make([]int64, 3), Count: append([]int64(nil), v.Dims...)}
+}
+
+// SplitTime partitions slab among n ranks along the time dimension.
+func SplitTime(slab layout.Slab, n int) ([]layout.Slab, error) {
+	if slab.Count[0] < int64(n) {
+		return nil, fmt.Errorf("wrf: %d time steps across %d ranks", slab.Count[0], n)
+	}
+	out := make([]layout.Slab, n)
+	per := slab.Count[0] / int64(n)
+	rem := slab.Count[0] % int64(n)
+	pos := slab.Start[0]
+	for i := 0; i < n; i++ {
+		c := per
+		if int64(i) < rem {
+			c++
+		}
+		s := slab.Clone()
+		s.Start[0] = pos
+		s.Count[0] = c
+		out[i] = s
+		pos += c
+	}
+	return out, nil
+}

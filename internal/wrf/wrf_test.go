@@ -1,0 +1,152 @@
+package wrf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adio"
+	"repro/internal/cc"
+	"repro/internal/fabric"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func smallStorm() Storm { return DefaultStorm(16, 64, 64) }
+
+func TestSLPShape(t *testing.T) {
+	s := smallStorm()
+	ey, ex := s.eye(0)
+	atEye := s.SLP([]int64{0, int64(ey), int64(ex)})
+	far := s.SLP([]int64{0, 0, 63})
+	if atEye >= far {
+		t.Fatalf("eye pressure %g not lower than far field %g", atEye, far)
+	}
+	if far < 1000 || far > 1014 {
+		t.Fatalf("ambient pressure %g implausible", far)
+	}
+	// The low deepens over time.
+	eyT, exT := s.eye(float64(s.NT - 1))
+	late := s.SLP([]int64{s.NT - 1, int64(eyT), int64(exT)})
+	if late >= atEye {
+		t.Fatalf("storm did not deepen: %g -> %g", atEye, late)
+	}
+}
+
+func TestWindRing(t *testing.T) {
+	s := smallStorm()
+	ey, ex := s.eye(0)
+	calmEye := s.Wind10([]int64{0, int64(ey), int64(ex)})
+	ring := s.Wind10([]int64{0, int64(ey), int64(ex + s.CoreRadius)})
+	far := s.Wind10([]int64{0, 0, 63})
+	if ring <= calmEye || ring <= far {
+		t.Fatalf("no wind ring: eye %g ring %g far %g", calmEye, ring, far)
+	}
+	if ring > s.MaxWind {
+		t.Fatalf("ring wind %g exceeds max %g", ring, s.MaxWind)
+	}
+}
+
+func TestEyeMoves(t *testing.T) {
+	s := smallStorm()
+	y0, x0 := s.eye(0)
+	y1, x1 := s.eye(float64(s.NT - 1))
+	if y1 <= y0 || x1 <= x0 {
+		t.Fatalf("eye did not move: (%g,%g) -> (%g,%g)", y0, x0, y1, x1)
+	}
+}
+
+// Brute-force scan of the full grid must agree with the collective-computing
+// MinSLP and MaxWind tasks, including the coordinates.
+func TestTasksMatchBruteForce(t *testing.T) {
+	storm := DefaultStorm(8, 32, 32)
+	// Brute force.
+	bruteMin := cc.Loc{Val: math.Inf(1)}
+	bruteMax := cc.Loc{Val: math.Inf(-1)}
+	for ti := int64(0); ti < storm.NT; ti++ {
+		for y := int64(0); y < storm.NY; y++ {
+			for x := int64(0); x < storm.NX; x++ {
+				c := []int64{ti, y, x}
+				slp := float64(float32(storm.SLP(c)))
+				wind := float64(float32(storm.Wind10(c)))
+				if slp < bruteMin.Val {
+					bruteMin = cc.Loc{Val: slp, Coords: append([]int64(nil), c...), Valid: true}
+				}
+				if wind > bruteMax.Val {
+					bruteMax = cc.Loc{Val: wind, Coords: append([]int64(nil), c...), Valid: true}
+				}
+			}
+		}
+	}
+
+	const n = 4
+	env := sim.NewEnv()
+	w := mpi.NewWorld(env, n, fabric.Params{RanksPerNode: 2})
+	fs := pfs.New(env, pfs.Params{NumOSTs: 4, DefaultStripeSize: 1 << 14})
+	d, err := NewDataset(fs, storm, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := w.Comm()
+	slabs, err := SplitTime(d.FullSlab(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[string]cc.Result)
+	w.Go(func(r *mpi.Rank) {
+		cl := fs.Client(r.Proc(), r.Rank(), nil)
+		for _, task := range []Task{d.MinSLPTask(), d.MaxWindTask()} {
+			res, err := cc.ObjectGetVara(r, comm, cl, cc.IO{
+				DS: d.DS, VarID: task.VarID, Slab: slabs[r.Rank()],
+				Reduce: cc.AllToAll, Params: adio.Params{CB: 8 << 10, Pipeline: true},
+			}, task.Op)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Root {
+				results[task.Name] = res
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gotMin := results["Min Sea-Level Pressure (hPa)"].State.(cc.Loc)
+	if gotMin.Val != bruteMin.Val {
+		t.Fatalf("min SLP %g at %v, want %g at %v", gotMin.Val, gotMin.Coords, bruteMin.Val, bruteMin.Coords)
+	}
+	gotMax := results["Max 10m wind speed (knots)"].State.(cc.Loc)
+	if gotMax.Val != bruteMax.Val {
+		t.Fatalf("max wind %g, want %g", gotMax.Val, bruteMax.Val)
+	}
+	// The eye should be in the interior of the domain, where the track ends.
+	if gotMin.Coords[0] != storm.NT-1 {
+		t.Errorf("deepest pressure not at final time step: %v", gotMin.Coords)
+	}
+}
+
+func TestSplitTimeErrors(t *testing.T) {
+	if _, err := SplitTime(layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{2, 4, 4}}, 5); err == nil {
+		t.Error("oversplit accepted")
+	}
+}
+
+func TestNewDatasetVars(t *testing.T) {
+	env := sim.NewEnv()
+	fs := pfs.New(env, pfs.Params{NumOSTs: 2})
+	d, err := NewDataset(fs, smallStorm(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DS.NumVars() != 2 {
+		t.Fatalf("%d vars", d.DS.NumVars())
+	}
+	if id, err := d.DS.VarByName("slp"); err != nil || id != d.SLPVar {
+		t.Fatal("slp var missing")
+	}
+	if id, err := d.DS.VarByName("wind10"); err != nil || id != d.WindVar {
+		t.Fatal("wind10 var missing")
+	}
+}
