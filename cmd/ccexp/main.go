@@ -3,17 +3,20 @@
 //
 // Usage:
 //
-//	ccexp [-scale 0.1] [-quick] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13 ...]
+//	ccexp [-scale 0.1] [-quick] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults ...]
 //
 // With no experiment arguments it lists the available experiments. -scale
 // multiplies the real data volume streamed through the simulator (1.0 =
 // paper scale); protocol parameters (process counts, aggregators, buffer
-// sizes) always match the paper.
+// sizes) always match the paper. Tables go to stdout and are byte-identical
+// across runs (the simulation is deterministic); wall-clock timing goes to
+// stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,34 +24,42 @@ import (
 )
 
 func main() {
-	scale := flag.Float64("scale", 0.1, "data-volume scale relative to the paper (1.0 = full)")
-	quick := flag.Bool("quick", false, "shrink process counts too (smoke test)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ccexp [flags] all|<experiment> ...\n\nflags:\n")
-		flag.PrintDefaults()
-		fmt.Fprintf(os.Stderr, "\nexperiments:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("ccexp", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	scale := fl.Float64("scale", 0.1, "data-volume scale relative to the paper (1.0 = full)")
+	quick := fl.Bool("quick", false, "shrink process counts too (smoke test)")
+	fl.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ccexp [flags] all|<experiment> ...\n\nflags:\n")
+		fl.PrintDefaults()
+		fmt.Fprintf(stderr, "\nexperiments:\n")
 		for _, r := range experiments.All() {
-			fmt.Fprintf(os.Stderr, "  %-8s %s\n", r.ID, r.Name)
+			fmt.Fprintf(stderr, "  %-8s %s\n", r.ID, r.Name)
 		}
 	}
-	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	rest := fl.Args()
+	if len(rest) == 0 {
+		fl.Usage()
+		return 2
 	}
 	cfg := experiments.Config{Scale: *scale, Quick: *quick}
 
 	var runners []experiments.Runner
-	for _, a := range args {
+	for _, a := range rest {
 		if a == "all" {
 			runners = experiments.All()
 			break
 		}
 		r, ok := experiments.ByID(a)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "ccexp: unknown experiment %q\n", a)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "ccexp: unknown experiment %q\n", a)
+			return 2
 		}
 		runners = append(runners, r)
 	}
@@ -56,10 +67,12 @@ func main() {
 		start := time.Now()
 		tb, err := r.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ccexp: %s: %v\n", r.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "ccexp: %s: %v\n", r.ID, err)
+			return 1
 		}
-		tb.Fprint(os.Stdout)
-		fmt.Printf("(%s regenerated in %.1fs wall)\n\n", r.ID, time.Since(start).Seconds())
+		tb.Fprint(stdout)
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stderr, "(%s regenerated in %.1fs wall)\n", r.ID, time.Since(start).Seconds())
 	}
+	return 0
 }

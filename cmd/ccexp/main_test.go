@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	code, out, errb := runCmd()
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if out != "" {
+		t.Fatalf("usage must go to stderr, stdout has %q", out)
+	}
+	for _, want := range []string{"usage:", "table1", "faults"} {
+		if !strings.Contains(errb, want) {
+			t.Fatalf("usage missing %q:\n%s", want, errb)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errb := runCmd("nonesuch")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, `unknown experiment "nonesuch"`) {
+		t.Fatalf("stderr: %q", errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCmd("-nope"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	code, out, _ := runCmd("table1")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "INCITE") {
+		t.Fatalf("stdout missing Table I:\n%s", out)
+	}
+}
+
+// TestFaultsStdoutDeterministic runs the faults experiment twice and demands
+// byte-identical stdout: the acceptance bar for the fault subsystem (timing
+// goes to stderr precisely so this holds).
+func TestFaultsStdoutDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the faults experiment twice")
+	}
+	code1, out1, _ := runCmd("-quick", "faults")
+	if code1 != 0 {
+		t.Fatalf("first run: exit %d", code1)
+	}
+	code2, out2, _ := runCmd("-quick", "faults")
+	if code2 != 0 {
+		t.Fatalf("second run: exit %d", code2)
+	}
+	if out1 != out2 {
+		t.Fatalf("faults output not byte-identical:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+	for _, want := range []string{"recovered", "fault-free CC reference"} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("faults output missing %q:\n%s", want, out1)
+		}
+	}
+}

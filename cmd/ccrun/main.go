@@ -1,24 +1,29 @@
 // Command ccrun executes one collective-computing job on the simulated
 // cluster from command-line flags: choose a workload (climate or wrf), an
 // access region, an operator, the I/O mode and the reduce mode, and compare
-// against the traditional baseline.
+// against the traditional baseline. A seeded fault plan can be injected to
+// study degradation, and the straggler mitigation (read timeout/retry plus
+// between-round domain rebalancing) can be switched on against it.
 //
 // Examples:
 //
 //	ccrun -workload climate -op mean -procs 64 -steps 32
 //	ccrun -workload wrf -task minslp -procs 48 -steps 96
 //	ccrun -workload climate -op maxloc -mode traditional
+//	ccrun -workload climate -stragglers 2 -read-timeout 0.02 -rebalance-rounds 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/adio"
 	"repro/internal/cc"
 	"repro/internal/climate"
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
@@ -28,32 +33,70 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("ccrun", flag.ContinueOnError)
+	fl.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "climate", "workload: climate | wrf")
-		opName   = flag.String("op", "sum", "operator: sum|count|min|max|mean|minloc|maxloc (climate only)")
-		task     = flag.String("task", "minslp", "wrf task: minslp | maxwind")
-		procs    = flag.Int("procs", 48, "number of MPI ranks")
-		rpn      = flag.Int("rpn", 24, "ranks per node")
-		naggr    = flag.Int("aggregators", 0, "aggregator count (0 = one per node)")
-		steps    = flag.Int64("steps", 24, "time steps to analyze")
-		ny       = flag.Int64("ny", 512, "grid rows")
-		nx       = flag.Int64("nx", 512, "grid columns")
-		cb       = flag.Int64("cb", 4<<20, "collective buffer bytes")
-		mode     = flag.String("mode", "cc", "mode: cc | traditional | independent")
-		reduce   = flag.String("reduce", "all2one", "reduce: all2one | all2all")
-		spe      = flag.Float64("comp", 2e-8, "map compute cost per element (seconds)")
-		pipe     = flag.Bool("pipeline", true, "overlap reads with the shuffle")
+		workload = fl.String("workload", "climate", "workload: climate | wrf")
+		opName   = fl.String("op", "sum", "operator: sum|count|min|max|mean|minloc|maxloc (climate only)")
+		task     = fl.String("task", "minslp", "wrf task: minslp | maxwind")
+		procs    = fl.Int("procs", 48, "number of MPI ranks")
+		rpn      = fl.Int("rpn", 24, "ranks per node")
+		naggr    = fl.Int("aggregators", 0, "aggregator count (0 = one per node)")
+		steps    = fl.Int64("steps", 24, "time steps to analyze")
+		ny       = fl.Int64("ny", 512, "grid rows")
+		nx       = fl.Int64("nx", 512, "grid columns")
+		cb       = fl.Int64("cb", 4<<20, "collective buffer bytes")
+		mode     = fl.String("mode", "cc", "mode: cc | traditional | independent")
+		reduce   = fl.String("reduce", "all2one", "reduce: all2one | all2all")
+		spe      = fl.Float64("comp", 2e-8, "map compute cost per element (seconds)")
+		pipe     = fl.Bool("pipeline", true, "overlap reads with the shuffle")
+
+		// Fault injection (see internal/fault).
+		faultSeed  = fl.Int64("fault-seed", 1, "fault plan PRNG seed")
+		stragglers = fl.Int("stragglers", 0, "straggling OSTs to inject")
+		stragFac   = fl.Float64("straggler-factor", 8, "straggler service slowdown")
+		slowLinks  = fl.Int("slow-links", 0, "degraded-NIC nodes to inject")
+		slowRanks  = fl.Int("slow-ranks", 0, "time-dilated ranks to inject")
+		horizon    = fl.Float64("fault-horizon", 0.1, "virtual-time span fault episodes are placed in (s)")
+
+		// Mitigation (see cc.Mitigation).
+		readTimeout = fl.Float64("read-timeout", 0, "abandon+reissue OST reads predicted past this (s); 0 = off")
+		readRetries = fl.Int("read-retries", 4, "retry budget per OST request")
+		readBackoff = fl.Float64("read-backoff", 0, "extra wait per reissue (s)")
+		rebalRounds = fl.Int("rebalance-rounds", 0, "split the read into rounds, replanning domains around flagged-slow OSTs; 0|1 = off")
 	)
-	flag.Parse()
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...interface{}) int {
+		fmt.Fprintf(stderr, "ccrun: "+format+"\n", a...)
+		return 1
+	}
 
 	if *steps < int64(*procs) && *ny < int64(*procs) {
-		fatal("need steps or ny >= procs to split the domain")
+		return fail("need steps or ny >= procs to split the domain")
 	}
 
 	env := sim.NewEnv()
 	w := mpi.NewWorld(env, *procs, fabric.Params{RanksPerNode: *rpn})
 	fs := pfs.New(env, pfs.Params{})
 	comm := w.Comm()
+
+	if *stragglers > 0 || *slowLinks > 0 || *slowRanks > 0 {
+		plan := fault.Gen(fault.Spec{
+			Seed:    *faultSeed,
+			NumOSTs: fs.Params().NumOSTs, NumNodes: w.Net().Nodes(), NumRanks: *procs,
+			Stragglers: *stragglers, StragglerFactor: *stragFac,
+			Links: *slowLinks, SlowRanks: *slowRanks,
+			Horizon: *horizon,
+		})
+		plan.Apply(w, fs)
+		fmt.Fprintln(stdout, plan)
+	}
 
 	var ds *ncfile.Dataset
 	var varID int
@@ -63,14 +106,20 @@ func main() {
 	case "climate":
 		var err error
 		ds, varID, err = climate.NewDataset3D(fs, []int64{max64(*steps, 1024), *ny, *nx}, 40, 4<<20)
-		check(err)
+		if err != nil {
+			return fail("%v", err)
+		}
 		op, err = cc.OpByName(*opName)
-		check(err)
+		if err != nil {
+			return fail("%v", err)
+		}
 		slab = layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{*steps, *ny, *nx}}
 	case "wrf":
 		storm := wrf.DefaultStorm(*steps, *ny, *nx)
 		d, err := wrf.NewDataset(fs, storm, 40, 4<<20)
-		check(err)
+		if err != nil {
+			return fail("%v", err)
+		}
 		ds = d.DS
 		var tk wrf.Task
 		switch *task {
@@ -79,13 +128,13 @@ func main() {
 		case "maxwind":
 			tk = d.MaxWindTask()
 		default:
-			fatal("unknown wrf task %q", *task)
+			return fail("unknown wrf task %q", *task)
 		}
 		varID, op = tk.VarID, tk.Op
 		slab = d.FullSlab()
-		fmt.Printf("task: %s\n", tk.Name)
+		fmt.Fprintf(stdout, "task: %s\n", tk.Name)
 	default:
-		fatal("unknown workload %q", *workload)
+		return fail("unknown workload %q", *workload)
 	}
 
 	splitDim := 0
@@ -94,37 +143,41 @@ func main() {
 	}
 	slabs := climate.SplitAlongDim(slab, splitDim, *procs)
 
-	io := cc.IO{
+	job := cc.IO{
 		DS: ds, VarID: varID,
 		Params:     adio.Params{CB: *cb, Pipeline: *pipe, PlanCache: &adio.PlanCache{}},
 		SecPerElem: *spe,
 		Stats:      &cc.Stats{},
+		Mitigate: cc.Mitigation{
+			ReadTimeout: *readTimeout, MaxRetries: *readRetries, Backoff: *readBackoff,
+			RebalanceRounds: *rebalRounds,
+		},
 	}
 	switch *mode {
 	case "cc":
 	case "traditional":
-		io.Block = true
+		job.Block = true
 	case "independent":
-		io.Mode = cc.Independent
+		job.Mode = cc.Independent
 	default:
-		fatal("unknown mode %q", *mode)
+		return fail("unknown mode %q", *mode)
 	}
 	switch *reduce {
 	case "all2one":
-		io.Reduce = cc.AllToOne
+		job.Reduce = cc.AllToOne
 	case "all2all":
-		io.Reduce = cc.AllToAll
+		job.Reduce = cc.AllToAll
 	default:
-		fatal("unknown reduce %q", *reduce)
+		return fail("unknown reduce %q", *reduce)
 	}
 	if *naggr > 0 {
-		io.Aggregators = adio.SpreadAggregators(*procs, *naggr)
+		job.Aggregators = adio.SpreadAggregators(*procs, *naggr)
 	}
 
 	var rootRes cc.Result
 	errs := make([]error, *procs)
 	w.Go(func(r *mpi.Rank) {
-		myIO := io
+		myIO := job
 		myIO.Slab = slabs[r.Rank()]
 		cl := fs.Client(r.Proc(), r.Rank(), nil)
 		var res cc.Result
@@ -133,27 +186,34 @@ func main() {
 			rootRes = res
 		}
 	})
-	check(env.Run())
+	if err := env.Run(); err != nil {
+		return fail("%v", err)
+	}
 	for i, err := range errs {
 		if err != nil {
-			fatal("rank %d: %v", i, err)
+			return fail("rank %d: %v", i, err)
 		}
 	}
 
-	fmt.Printf("mode=%s reduce=%s procs=%d op=%s\n", *mode, *reduce, *procs, op.Name())
-	fmt.Printf("result: %.6g\n", rootRes.Value)
+	fmt.Fprintf(stdout, "mode=%s reduce=%s procs=%d op=%s\n", *mode, *reduce, *procs, op.Name())
+	fmt.Fprintf(stdout, "result: %.6g\n", rootRes.Value)
 	if loc, ok := rootRes.State.(cc.Loc); ok && loc.Valid {
-		fmt.Printf("at coordinates: %v\n", loc.Coords)
+		fmt.Fprintf(stdout, "at coordinates: %v\n", loc.Coords)
 	}
-	fmt.Printf("virtual makespan: %.4fs\n", env.Now())
-	st := io.Stats
+	fmt.Fprintf(stdout, "virtual makespan: %.4fs\n", env.Now())
+	st := job.Stats
 	if st.MapElements > 0 {
-		fmt.Printf("map: %d elements, %.4fs; construction %.4fs; local reduce %.4fs\n",
+		fmt.Fprintf(stdout, "map: %d elements, %.4fs; construction %.4fs; local reduce %.4fs\n",
 			st.MapElements, st.MapSeconds, st.ConstructSeconds, st.LocalReduceSeconds)
-		fmt.Printf("shuffle: %d partial-result bytes vs %d raw bytes (%.1fx reduction), metadata %d bytes in %d records\n",
+		fmt.Fprintf(stdout, "shuffle: %d partial-result bytes vs %d raw bytes (%.1fx reduction), metadata %d bytes in %d records\n",
 			st.ShuffleBytes, st.RawBytes, safeDiv(st.RawBytes, st.ShuffleBytes),
 			st.MetadataBytes, st.IntermediateRecords)
 	}
+	if st.IOTimeouts > 0 || st.Rebalances > 0 {
+		fmt.Fprintf(stdout, "mitigation: %d timeouts, %d retries, %.4fs backoff, %d rebalances (%d flagged-slow OSTs)\n",
+			st.IOTimeouts, st.IORetries, st.BackoffSeconds, st.Rebalances, st.FlaggedSlowOSTs)
+	}
+	return 0
 }
 
 func safeDiv(a, b int64) float64 {
@@ -168,15 +228,4 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
-}
-
-func check(err error) {
-	if err != nil {
-		fatal("%v", err)
-	}
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "ccrun: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// smokeArgs shrink the job enough for a unit test.
+var smokeArgs = []string{"-procs", "4", "-rpn", "2", "-steps", "8", "-ny", "64", "-nx", "64", "-cb", "65536"}
+
+func TestBadInputs(t *testing.T) {
+	cases := []struct {
+		args []string
+		code int
+		want string // on stderr
+	}{
+		{[]string{"-nope"}, 2, ""},
+		{[]string{"-workload", "nonesuch"}, 1, `unknown workload "nonesuch"`},
+		{[]string{"-mode", "warp"}, 1, `unknown mode "warp"`},
+		{[]string{"-reduce", "sideways"}, 1, `unknown reduce "sideways"`},
+		{[]string{"-workload", "wrf", "-task", "nonesuch"}, 1, `unknown wrf task "nonesuch"`},
+		{[]string{"-op", "nonesuch"}, 1, "nonesuch"},
+		{[]string{"-procs", "100", "-steps", "8", "-ny", "64"}, 1, "split the domain"},
+	}
+	for _, c := range cases {
+		args := c.args
+		if c.code == 1 && c.args[0] != "-procs" {
+			args = append(append([]string{}, smokeArgs...), c.args...)
+		}
+		code, _, errb := runCmd(args...)
+		if code != c.code {
+			t.Errorf("%v: exit %d, want %d (stderr %q)", args, code, c.code, errb)
+		}
+		if c.want != "" && !strings.Contains(errb, c.want) {
+			t.Errorf("%v: stderr %q missing %q", args, errb, c.want)
+		}
+	}
+}
+
+func TestSmoke(t *testing.T) {
+	code, out, errb := runCmd(append(append([]string{}, smokeArgs...), "-op", "max")...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"mode=cc", "op=max", "result:", "virtual makespan:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFaultSmoke drives the fault-injection and mitigation path end to end
+// from the CLI and checks the output is deterministic for a fixed seed.
+func TestFaultSmoke(t *testing.T) {
+	args := append(append([]string{}, smokeArgs...),
+		"-stragglers", "2", "-slow-ranks", "1", "-fault-seed", "7",
+		"-read-timeout", "0.01", "-read-backoff", "0.002", "-rebalance-rounds", "2")
+	code, out1, errb := runCmd(args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out1, "fault plan (seed 7)") {
+		t.Fatalf("stdout missing fault plan:\n%s", out1)
+	}
+	if !strings.Contains(out1, "result:") {
+		t.Fatalf("stdout missing result:\n%s", out1)
+	}
+	code, out2, _ := runCmd(args...)
+	if code != 0 {
+		t.Fatalf("second run: exit %d", code)
+	}
+	if out1 != out2 {
+		t.Fatalf("faulted run not deterministic:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+}

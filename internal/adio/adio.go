@@ -163,6 +163,11 @@ func CollectiveReadPlanned(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File
 		}
 	}
 	r.Sys(float64(pl.TotalRuns()) * p.PlanCost)
+	if p.ReadTimeout > 0 {
+		saved := cl.ReadPolicy()
+		cl.SetReadPolicy(pfs.ReadPolicy{Timeout: p.ReadTimeout, Retries: p.ReadRetries, Backoff: p.ReadBackoff})
+		defer cl.SetReadPolicy(saved)
+	}
 	tagBase := c.ReserveTags(r, pl.MaxIters+1)
 	me := c.RankOf(r)
 	if p.Pipeline {

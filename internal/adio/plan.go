@@ -9,6 +9,7 @@ package adio
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/layout"
@@ -48,6 +49,14 @@ type Params struct {
 	// so the simulation constructs it once (virtual CPU time is still
 	// charged per rank). Use a fresh cache per collective operation.
 	PlanCache *PlanCache
+	// ReadTimeout, when positive, installs a pfs.ReadPolicy on the client
+	// for the duration of the collective read: OST requests whose predicted
+	// completion exceeds the timeout are abandoned and reissued up to
+	// ReadRetries times with ReadBackoff*attempt extra wait. The straggler
+	// mitigation knob (see internal/fault).
+	ReadTimeout float64
+	ReadRetries int
+	ReadBackoff float64
 }
 
 // Observer receives aggregator-side per-iteration phase timings.
@@ -58,8 +67,29 @@ type Observer interface {
 	ObserveIter(aggrIdx, iter int, readSec, shuffleSec float64, bytes int64)
 }
 
-// PlanCache shares one Plan across ranks of a single collective call.
-type PlanCache struct{ pl *Plan }
+// PlanCache shares one Plan across ranks of a single collective call. For
+// multi-round protocols (rebalanced reads), Keyed shares one plan per round.
+type PlanCache struct {
+	pl    *Plan
+	keyed map[int]*Plan
+}
+
+// Keyed returns the cached plan for key, building and caching it via build on
+// first use. Every rank of a multi-round collective call must reach round
+// `key` with identical inputs; the first rank to arrive constructs the plan
+// and the rest reuse the identical object, mirroring what real ROMIO achieves
+// by construction (all ranks run the same deterministic planner).
+func (c *PlanCache) Keyed(key int, build func() *Plan) *Plan {
+	if c.keyed == nil {
+		c.keyed = make(map[int]*Plan)
+	}
+	if pl, ok := c.keyed[key]; ok {
+		return pl
+	}
+	pl := build()
+	c.keyed[key] = pl
+	return pl
+}
 
 // Defaults fills unset fields.
 func (p Params) Defaults() Params {
@@ -171,17 +201,16 @@ func (pl *Plan) BufPos(o int, fileOff int64) int64 {
 	return pl.prefix[o][i] + (fileOff - runs[i].Offset)
 }
 
-// BuildPlan computes the two-phase plan for the given per-owner byte-run
-// requests (sorted, disjoint, coalesced — as layout.Flatten produces),
-// aggregator comm ranks, collective buffer size, and domain alignment.
-func BuildPlan(reqs [][]layout.Run, aggrs []int, cb, align int64) *Plan {
+// newPlanShell validates inputs, allocates a Plan with its request index,
+// and computes the global hull. empty reports that no data was requested.
+func newPlanShell(reqs [][]layout.Run, aggrs []int, cb int64) (pl *Plan, lo, hi int64, empty bool) {
 	if len(aggrs) == 0 {
 		panic("adio: no aggregators")
 	}
 	if cb <= 0 {
 		panic(fmt.Sprintf("adio: collective buffer %d", cb))
 	}
-	pl := &Plan{Aggrs: append([]int(nil), aggrs...), CB: cb, reqs: reqs,
+	pl = &Plan{Aggrs: append([]int(nil), aggrs...), CB: cb, reqs: reqs,
 		aggIdx: make(map[int]int, len(aggrs))}
 	for i, a := range pl.Aggrs {
 		pl.aggIdx[a] = i
@@ -198,7 +227,6 @@ func BuildPlan(reqs [][]layout.Run, aggrs []int, cb, align int64) *Plan {
 	}
 
 	// Global hull.
-	var lo, hi int64
 	first := true
 	for _, rs := range reqs {
 		if len(rs) == 0 {
@@ -217,10 +245,19 @@ func BuildPlan(reqs [][]layout.Run, aggrs []int, cb, align int64) *Plan {
 	pl.Iters = make([][]Iter, na)
 	pl.Domains = make([]Domain, na)
 	pl.expect = make([][]expectEntry, len(reqs))
-	if first { // no data requested at all
+	return pl, lo, hi, first
+}
+
+// BuildPlan computes the two-phase plan for the given per-owner byte-run
+// requests (sorted, disjoint, coalesced — as layout.Flatten produces),
+// aggregator comm ranks, collective buffer size, and domain alignment.
+func BuildPlan(reqs [][]layout.Run, aggrs []int, cb, align int64) *Plan {
+	pl, lo, hi, empty := newPlanShell(reqs, aggrs, cb)
+	if empty { // no data requested at all
 		return pl
 	}
 	// Even domain partition of the hull, optionally aligned.
+	na := len(aggrs)
 	span := hi - lo
 	ds := (span + int64(na) - 1) / int64(na)
 	if align > 0 && ds%align != 0 {
@@ -240,7 +277,79 @@ func BuildPlan(reqs [][]layout.Run, aggrs []int, cb, align int64) *Plan {
 		}
 		pl.Domains[a] = Domain{dlo, dhi}
 	}
+	pl.fillIters()
+	return pl
+}
 
+// BuildPlanWeighted is BuildPlan with cost-proportional file domains: the
+// hull is split into align-sized chunks (cb-sized when align is 0), each
+// chunk priced by cost(lo, hi), and domain boundaries are placed at chunk
+// boundaries so every aggregator carries ≈ 1/na of the total cost. With a
+// cost that charges observed-slow OSTs more, this shifts file-domain bytes
+// away from stragglers — the mitigation the paper's future-work section
+// gestures at. A nil cost or an all-zero costing degrades to BuildPlan.
+func BuildPlanWeighted(reqs [][]layout.Run, aggrs []int, cb, align int64, cost func(lo, hi int64) float64) *Plan {
+	if cost == nil {
+		return BuildPlan(reqs, aggrs, cb, align)
+	}
+	pl, lo, hi, empty := newPlanShell(reqs, aggrs, cb)
+	if empty {
+		return pl
+	}
+	step := align
+	if step <= 0 {
+		step = cb
+	}
+	nchunks := int((hi - lo + step - 1) / step)
+	costs := make([]float64, nchunks)
+	var total float64
+	for i := range costs {
+		clo := lo + int64(i)*step
+		chi := clo + step
+		if chi > hi {
+			chi = hi
+		}
+		costs[i] = cost(clo, chi)
+		if costs[i] < 0 {
+			costs[i] = 0
+		}
+		total += costs[i]
+	}
+	if total <= 0 {
+		return BuildPlan(reqs, aggrs, cb, align)
+	}
+	// Place na-1 monotone cuts at chunk boundaries, each minimizing the
+	// distance between the cumulative cost and its even-share target. The
+	// cut lands *before* a large chunk when that is closer — a greedy
+	// always-include rule would hand a whole straggling stripe to one domain.
+	na := len(aggrs)
+	bounds := make([]int64, na+1)
+	bounds[0], bounds[na] = lo, hi
+	cum := 0.0
+	j := 0
+	for a := 1; a < na; a++ {
+		target := total * float64(a) / float64(na)
+		for j < nchunks && math.Abs(cum+costs[j]-target) <= math.Abs(cum-target) {
+			cum += costs[j]
+			j++
+		}
+		b := lo + int64(j)*step
+		if b > hi {
+			b = hi
+		}
+		bounds[a] = b
+	}
+	for a := 0; a < na; a++ {
+		pl.Domains[a] = Domain{bounds[a], bounds[a+1]}
+	}
+	pl.fillIters()
+	return pl
+}
+
+// fillIters populates Iters, MaxIters, and the expected-message index from
+// pl.Domains — the domain-independent second half of plan construction.
+func (pl *Plan) fillIters() {
+	reqs, cb, na := pl.reqs, pl.CB, len(pl.Aggrs)
 	type frag struct {
 		it    int
 		owner int
@@ -341,7 +450,6 @@ func BuildPlan(reqs [][]layout.Run, aggrs []int, cb, align int64) *Plan {
 			return e[i].Aggr < e[j].Aggr
 		})
 	}
-	return pl
 }
 
 // DefaultAggregators returns one aggregator comm rank per group of

@@ -37,6 +37,27 @@ const (
 	AllToAll
 )
 
+// Mitigation configures the runtime's reaction to storage stragglers (the
+// fault scenarios of internal/fault). The zero value disables mitigation.
+type Mitigation struct {
+	// ReadTimeout abandons an OST read request whose predicted completion
+	// exceeds this many seconds past issue, reissuing it after a backoff.
+	// 0 disables timeout/retry.
+	ReadTimeout float64
+	// MaxRetries caps reissues per request piece.
+	MaxRetries int
+	// Backoff adds Backoff*attempt seconds before each reissue.
+	Backoff float64
+	// RebalanceRounds, when > 1, splits the collective read into that many
+	// contiguous byte bands and replans file domains between bands, weighting
+	// observed-slow OSTs so their bytes spread across more aggregators.
+	// Requires a shared Params.PlanCache. 0 or 1 reads in a single round.
+	RebalanceRounds int
+	// FlagThreshold is the observed service factor at or above which an OST
+	// is considered slow for rebalancing (default 2).
+	FlagThreshold float64
+}
+
 // IO is the object I/O descriptor: the access region, the I/O mode, and the
 // runtime knobs, grouped as in paper Figure 6. The computation (Op) is
 // passed alongside to ObjectGetVara, mirroring
@@ -60,6 +81,9 @@ type IO struct {
 	Root int
 	// Params tunes the underlying two-phase protocol.
 	Params adio.Params
+	// Mitigate configures straggler mitigation (timeout/retry and file-domain
+	// rebalancing) for the read phase.
+	Mitigate Mitigation
 	// SecPerElem is the virtual CPU cost of the map per element, the knob
 	// behind the paper's computation:I/O ratio sweeps.
 	SecPerElem float64
@@ -120,6 +144,18 @@ type Stats struct {
 	ShuffleBytes int64
 	// RawBytes is the raw data the unmodified shuffle would have moved.
 	RawBytes int64
+
+	// Fault-mitigation accounting (see Mitigation and internal/fault).
+	// IOTimeouts / IORetries count read requests abandoned for exceeding the
+	// mitigation timeout and their reissues; BackoffSeconds is the total
+	// backoff wait inserted before reissues.
+	IOTimeouts     int64
+	IORetries      int64
+	BackoffSeconds float64
+	// Rebalances counts read rounds replanned with health-weighted file
+	// domains; FlaggedSlowOSTs accumulates the flagged-OST count at each.
+	Rebalances      int64
+	FlaggedSlowOSTs int64
 }
 
 // constructCostPerSubset is the CPU cost charged per reconstructed logical
@@ -149,10 +185,25 @@ func ObjectGetVara(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Resu
 	if io.Root < 0 || io.Root >= c.Size() {
 		return Result{}, fmt.Errorf("cc: root %d out of range", io.Root)
 	}
-	if io.Block || io.Mode == Independent {
-		return runTraditional(r, c, cl, io, op)
+	if io.Mitigate.ReadTimeout > 0 {
+		io.Params.ReadTimeout = io.Mitigate.ReadTimeout
+		io.Params.ReadRetries = io.Mitigate.MaxRetries
+		io.Params.ReadBackoff = io.Mitigate.Backoff
 	}
-	return runCollectiveComputing(r, c, cl, io, op)
+	before := cl.Retry
+	var res Result
+	var err error
+	if io.Block || io.Mode == Independent {
+		res, err = runTraditional(r, c, cl, io, op)
+	} else {
+		res, err = runCollectiveComputing(r, c, cl, io, op)
+	}
+	if io.Stats != nil && err == nil {
+		io.Stats.IOTimeouts += cl.Retry.Timeouts - before.Timeouts
+		io.Stats.IORetries += cl.Retry.Retries - before.Retries
+		io.Stats.BackoffSeconds += cl.Retry.BackoffSeconds - before.BackoffSeconds
+	}
+	return res, err
 }
 
 // runTraditional is the paper's Figure 5 baseline: finish the I/O, then
@@ -196,7 +247,35 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 		aggrs = adio.DefaultAggregators(c.Size(), r.World().Net().Params().RanksPerNode)
 	}
 	reqs := adio.ExchangeRequests(r, c, runs)
-	pl := adio.SharedPlan(io.Params.PlanCache, reqs, aggrs, io.Params.CB, io.Params.Align)
+
+	// Hull of all requests, for the multi-round band split.
+	var hullLo, hullHi int64
+	hullEmpty := true
+	for _, rs := range reqs {
+		if len(rs) == 0 {
+			continue
+		}
+		l, h := layout.Bounds(rs)
+		if hullEmpty || l < hullLo {
+			hullLo = l
+		}
+		if hullEmpty || h > hullHi {
+			hullHi = h
+		}
+		hullEmpty = false
+	}
+	rounds := io.Mitigate.RebalanceRounds
+	if rounds < 1 || hullEmpty {
+		rounds = 1
+	}
+	if io.Mitigate.RebalanceRounds > 1 && io.Params.PlanCache == nil {
+		return Result{}, fmt.Errorf("cc: RebalanceRounds %d requires a shared Params.PlanCache",
+			io.Mitigate.RebalanceRounds)
+	}
+	var pl *adio.Plan
+	if rounds == 1 {
+		pl = adio.SharedPlan(io.Params.PlanCache, reqs, aggrs, io.Params.CB, io.Params.Align)
+	}
 
 	me := c.RankOf(r)
 	sz := v.Type.Size()
@@ -312,10 +391,91 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 		}
 	}
 
-	err = adio.CollectiveReadPlanned(r, c, cl, io.DS.File(), adio.Request{Runs: runs},
-		pl, io.Params, hooks)
-	if err != nil {
-		return Result{}, err
+	if rounds == 1 {
+		err = adio.CollectiveReadPlanned(r, c, cl, io.DS.File(), adio.Request{Runs: runs},
+			pl, io.Params, hooks)
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		// Multi-round read with between-round rebalancing: the hull is split
+		// into `rounds` contiguous stripe-aligned byte bands. Each band is a
+		// full collective read; from round 1 on, if any OST has been observed
+		// slow, file domains are replanned proportional to observed cost so
+		// straggling stripes spread across more aggregators. The first rank
+		// reaching a round builds its plan (via the shared keyed cache), so
+		// every rank executes the identical — deterministic — plan.
+		f := io.DS.File()
+		align := io.Params.Align
+		if align <= 0 {
+			align = f.StripeSize()
+		}
+		band := (hullHi - hullLo + int64(rounds) - 1) / int64(rounds)
+		if rem := band % align; rem != 0 {
+			band += align - rem
+		}
+		if band <= 0 {
+			band = align
+		}
+		health := cl.FS().Health()
+		thr := io.Mitigate.FlagThreshold
+		if thr <= 0 {
+			thr = 2
+		}
+		for j := 0; j < rounds; j++ {
+			if j > 0 {
+				// Health sync: rebalancing decisions must see every rank's
+				// observations from the previous round, not just those of
+				// whichever rank happens to arrive first. A real
+				// implementation would allgather health here; the barrier
+				// models that synchronization.
+				c.Barrier(r)
+			}
+			blo := hullLo + int64(j)*band
+			bhi := blo + band
+			if j == rounds-1 || bhi > hullHi {
+				bhi = hullHi
+			}
+			if blo >= bhi {
+				continue
+			}
+			wreqs := make([][]layout.Run, len(reqs))
+			for o, rs := range reqs {
+				wreqs[o] = layout.Window(rs, blo, bhi)
+			}
+			j := j
+			rpl := io.Params.PlanCache.Keyed(j, func() *adio.Plan {
+				if j > 0 {
+					if flagged := health.Flagged(thr); len(flagged) > 0 {
+						if io.Stats != nil {
+							io.Stats.Rebalances++
+							io.Stats.FlaggedSlowOSTs += int64(len(flagged))
+						}
+						cost := func(clo, chi int64) float64 {
+							ss := f.StripeSize()
+							var ct float64
+							for off := clo; off < chi; {
+								n := ss - off%ss
+								if off+n > chi {
+									n = chi - off
+								}
+								ct += float64(n) * health.ObservedFactor(f.OSTIndex(off))
+								off += n
+							}
+							return ct
+						}
+						return adio.BuildPlanWeighted(wreqs, aggrs, io.Params.CB, align, cost)
+					}
+				}
+				return adio.BuildPlan(wreqs, aggrs, io.Params.CB, align)
+			})
+			err = adio.CollectiveReadPlanned(r, c, cl, f, adio.Request{Runs: wreqs[me]},
+				rpl, io.Params, hooks)
+			if err != nil {
+				return Result{}, err
+			}
+			pl = rpl
+		}
 	}
 
 	if io.Reduce == AllToOne {

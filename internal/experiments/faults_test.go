@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/adio"
+	"repro/internal/cc"
+	"repro/internal/climate"
+	"repro/internal/fault"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+)
+
+// faultScenario is a small cluster whose access pattern is engineered to
+// collide with storage faults: 8 ranks on 4 nodes, a 64 MB variable striped
+// 1 MB over 16 OSTs, 4 aggregators with 1 MB collective buffers. Every
+// aggregator's first CB iteration reads a stripe index that is 0 mod 16, so
+// a straggler on OST 0 stalls all four read pipelines at once.
+type faultScenario struct {
+	nranks, rpn, naggr int
+	stripes            int
+	stripeSize, cb     int64
+	dims               []int64
+}
+
+func defaultFaultScenario() faultScenario {
+	return faultScenario{nranks: 8, rpn: 2, naggr: 4, stripes: 16,
+		stripeSize: 1 << 20, cb: 1 << 20, dims: []int64{512, 128, 128}}
+}
+
+// run executes one collective-computing Max reduction under the given fault
+// plan and mitigation, returning the makespan, the reduced value, and the
+// accumulated mitigation stats.
+func (sc faultScenario) run(t *testing.T, plan *fault.Plan, mit cc.Mitigation) (float64, float64, cc.Stats) {
+	t.Helper()
+	cl := newCluster(sc.nranks, sc.rpn, 0)
+	if plan != nil {
+		plan.Apply(cl.w, cl.fs)
+	}
+	ds, id, err := climate.NewDataset3D(cl.fs, sc.dims, sc.stripes, sc.stripeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := layout.Slab{Start: []int64{0, 0, 0}, Count: sc.dims}
+	slabs := climate.SplitAlongDim(sub, 1, sc.nranks)
+	aggrs := adio.SpreadAggregators(sc.nranks, sc.naggr)
+	cache := &adio.PlanCache{}
+	stats := &cc.Stats{}
+	vals := make([]float64, sc.nranks)
+	errs := make([]error, sc.nranks)
+	mk, err := cl.run(func(r *mpi.Rank) {
+		var res cc.Result
+		res, errs[r.Rank()] = cc.ObjectGetVara(r, cl.comm, cl.client(r), cc.IO{
+			DS: ds, VarID: id, Slab: slabs[r.Rank()],
+			Reduce: cc.AllToOne, Aggregators: aggrs,
+			Params:   adio.Params{CB: sc.cb, Pipeline: true, PlanCache: cache},
+			Mitigate: mit, Stats: stats,
+		}, cc.Max{})
+		vals[r.Rank()] = res.Value
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstErr(errs); err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range vals {
+		if math.Float64bits(v) != math.Float64bits(vals[0]) {
+			t.Fatalf("rank %d value %v != rank 0 value %v", r, v, vals[0])
+		}
+	}
+	return mk, vals[0], *stats
+}
+
+// truth computes the reduction's ground truth directly from the synthetic
+// field the dataset is backed by — no simulated I/O involved.
+func (sc faultScenario) truth() float64 {
+	max := math.Inf(-1)
+	c := make([]int64, 3)
+	for c[0] = 0; c[0] < sc.dims[0]; c[0]++ {
+		for c[1] = 0; c[1] < sc.dims[1]; c[1]++ {
+			for c[2] = 0; c[2] < sc.dims[2]; c[2]++ {
+				if v := climate.Temperature3D(c); v > max {
+					max = v
+				}
+			}
+		}
+	}
+	return max
+}
+
+// mustBits asserts a reduced value is bit-identical to ground truth: faults
+// and mitigation may change timing, never data.
+func mustBits(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: value %v (bits %x) != ground truth %v (bits %x)",
+			label, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestTransientStragglerRecovery is the headline acceptance test: under an
+// 8x-straggler fault plan, collective computing with timeout/retry and
+// between-round rebalancing recovers at least 30% of the gap between the
+// faulted unmitigated run and the fault-free run — with the analysis result
+// bit-identical to ground truth in every configuration.
+func TestTransientStragglerRecovery(t *testing.T) {
+	sc := defaultFaultScenario()
+	want := sc.truth()
+
+	// OST 0 serves 8x slower for the first 6 ms: long enough to catch every
+	// aggregator's first-iteration read, short enough that a timed-out
+	// request reissued after recovery completes at full speed.
+	plan := &fault.Plan{Seed: 42, Stragglers: []fault.Straggler{
+		{OST: 0, Factor: 8, Onset: 0, Recovery: 6e-3},
+	}}
+	// Healthy 1 MB service time is ~4.7 ms; time out when a request is
+	// predicted to run 5 ms past its issue and back off briefly.
+	mit := cc.Mitigation{
+		ReadTimeout: 5e-3, MaxRetries: 4, Backoff: 2e-3,
+		RebalanceRounds: 4, FlagThreshold: 2,
+	}
+
+	tFree, vFree, _ := sc.run(t, nil, cc.Mitigation{})
+	mustBits(t, "fault-free", vFree, want)
+	tPlain, vPlain, _ := sc.run(t, plan, cc.Mitigation{})
+	mustBits(t, "faulted unmitigated", vPlain, want)
+	tMit, vMit, stats := sc.run(t, plan, mit)
+	mustBits(t, "faulted mitigated", vMit, want)
+
+	gap := tPlain - tFree
+	if gap <= 0 {
+		t.Fatalf("fault plan had no effect: free %.4fs, faulted %.4fs", tFree, tPlain)
+	}
+	recovered := (tPlain - tMit) / gap
+	t.Logf("free %.4fs faulted %.4fs mitigated %.4fs recovered %.0f%% (stats %+v)",
+		tFree, tPlain, tMit, 100*recovered, stats)
+	if recovered < 0.30 {
+		t.Fatalf("mitigation recovered %.0f%% of the fault gap, want >= 30%%", 100*recovered)
+	}
+	if stats.IOTimeouts == 0 {
+		t.Fatal("mitigated run recorded no timeouts — the fault never hit the read path")
+	}
+}
+
+// TestPersistentStragglerRebalance covers the other regime: an OST that never
+// recovers. Retry cannot help (the reissued request is just as slow), but the
+// health tracker flags the OST and between-round rebalancing shrinks the
+// domain that drains it, strictly improving the makespan.
+func TestPersistentStragglerRebalance(t *testing.T) {
+	sc := defaultFaultScenario()
+	want := sc.truth()
+	plan := &fault.Plan{Seed: 7, Stragglers: []fault.Straggler{
+		{OST: 3, Factor: 8, Onset: 0, Recovery: 1e9},
+	}}
+	// Rebalance-only: no retry budget to waste on a straggler that never
+	// comes back (observations on accepted-slow requests still feed the
+	// health tracker).
+	mit := cc.Mitigation{RebalanceRounds: 4, FlagThreshold: 2}
+
+	tPlain, vPlain, _ := sc.run(t, plan, cc.Mitigation{})
+	mustBits(t, "faulted unmitigated", vPlain, want)
+	tRebal, vRebal, stats := sc.run(t, plan, mit)
+	mustBits(t, "faulted rebalanced", vRebal, want)
+
+	t.Logf("faulted %.4fs rebalanced %.4fs (stats %+v)", tPlain, tRebal, stats)
+	if stats.Rebalances == 0 || stats.FlaggedSlowOSTs == 0 {
+		t.Fatalf("rebalancing never engaged: stats %+v", stats)
+	}
+	if tRebal >= tPlain {
+		t.Fatalf("rebalancing did not improve makespan: %.4fs >= %.4fs", tRebal, tPlain)
+	}
+}
+
+// TestFaultedRunDeterminism is the regression guard for bit-reproducibility:
+// the same seed and plan must yield the identical makespan, identical
+// mitigation stats, and a bit-identical result on every run.
+func TestFaultedRunDeterminism(t *testing.T) {
+	sc := defaultFaultScenario()
+	spec := fault.Spec{Seed: 99, NumOSTs: sc.stripes, NumNodes: sc.nranks / sc.rpn,
+		NumRanks: sc.nranks, Stragglers: 2, StragglerFactor: 8,
+		Links: 1, SlowRanks: 1, Horizon: 0.05}
+	mit := cc.Mitigation{ReadTimeout: 5e-3, MaxRetries: 4, Backoff: 2e-3,
+		RebalanceRounds: 4, FlagThreshold: 2}
+
+	p1, p2 := fault.Gen(spec), fault.Gen(spec)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("fault.Gen is not deterministic:\n%v\nvs\n%v", p1, p2)
+	}
+
+	mk1, v1, st1 := sc.run(t, p1, mit)
+	mk2, v2, st2 := sc.run(t, p2, mit)
+	if mk1 != mk2 {
+		t.Fatalf("makespan differs across identical runs: %v vs %v", mk1, mk2)
+	}
+	if math.Float64bits(v1) != math.Float64bits(v2) {
+		t.Fatalf("result differs across identical runs: %x vs %x",
+			math.Float64bits(v1), math.Float64bits(v2))
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("stats differ across identical runs:\n%+v\nvs\n%+v", st1, st2)
+	}
+	mustBits(t, "faulted deterministic", v1, sc.truth())
+}
+
+// TestFigFaultsDeterministic asserts the rendered experiment output is
+// byte-identical across runs with the same (default) seed.
+func TestFigFaultsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the faults figure twice")
+	}
+	cfg := Config{Quick: true}
+	t1, err := FigFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := FigFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatalf("faults figure is not deterministic:\n%s\nvs\n%s", t1, t2)
+	}
+}

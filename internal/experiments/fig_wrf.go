@@ -133,6 +133,7 @@ func All() []Runner {
 		{"fig11", "Reduction overhead (Figure 11)", Fig11},
 		{"fig12", "Metadata vs collective buffer size (Figure 12)", Fig12},
 		{"fig13", "WRF hurricane analysis (Figure 13)", Fig13},
+		{"faults", "Degradation/recovery under fault plans (robustness ablation)", FigFaults},
 	}
 }
 

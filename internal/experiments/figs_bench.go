@@ -7,6 +7,7 @@ import (
 	"repro/internal/asciichart"
 	"repro/internal/cc"
 	"repro/internal/climate"
+	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/mpi"
 )
@@ -24,17 +25,27 @@ type ccRunSpec struct {
 	pipeline    bool
 	stats       *cc.Stats
 	stripeCount int
+	stripeSize  int64         // 0 = 4 MB
+	mit         cc.Mitigation // straggler mitigation knobs
+	plan        *fault.Plan   // injected faults (nil = healthy cluster)
 }
 
 // runClimate3D executes the spec on a fresh cluster and returns the virtual
 // makespan.
 func runClimate3D(spec ccRunSpec) (float64, error) {
 	cl := newCluster(spec.nranks, spec.rpn, 0)
+	if spec.plan != nil {
+		spec.plan.Apply(cl.w, cl.fs)
+	}
 	stripes := spec.stripeCount
 	if stripes == 0 {
 		stripes = 40
 	}
-	ds, id, err := climate.NewDataset3D(cl.fs, spec.dims, stripes, 4<<20)
+	ss := spec.stripeSize
+	if ss == 0 {
+		ss = 4 << 20
+	}
+	ds, id, err := climate.NewDataset3D(cl.fs, spec.dims, stripes, ss)
 	if err != nil {
 		return 0, err
 	}
@@ -52,6 +63,7 @@ func runClimate3D(spec ccRunSpec) (float64, error) {
 			Block: spec.block, Reduce: spec.reduce,
 			Aggregators: aggrs,
 			Params:      adio.Params{CB: cb, Pipeline: pipeline, PlanCache: cache},
+			Mitigate:    spec.mit,
 			SecPerElem:  spec.spe,
 			Stats:       spec.stats,
 		}, cc.Sum{})

@@ -64,7 +64,6 @@ func secs(s float64) string { return fmt.Sprintf("%.3f", s) }
 // ratio formats a dimensionless factor.
 func ratio(x float64) string { return fmt.Sprintf("%.2f", x) }
 
-
 // TableI reproduces the paper's Table I, the data requirements of
 // representative INCITE applications at ALCF (static data quoted from the
 // paper, which quotes Ross et al.).

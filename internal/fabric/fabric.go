@@ -64,6 +64,13 @@ func (p Params) Defaults() Params {
 	return p
 }
 
+// linkWindow is one injected degradation episode on a node's links.
+type linkWindow struct {
+	onset, recovery float64
+	bwFactor        float64 // NIC bandwidth divisor (>= 1)
+	extraLatency    float64 // added per-message latency (seconds)
+}
+
 // Network computes transfer completion times between ranks and tracks
 // aggregate traffic statistics.
 type Network struct {
@@ -72,11 +79,18 @@ type Network struct {
 	tx     []*sim.Resource // per-node injection NIC
 	rx     []*sim.Resource // per-node ejection NIC
 
+	faults    [][]linkWindow // per-node degradation schedule
+	jitterRng uint64         // splitmix64 state; 0 = jitter disabled
+	jitterMax float64
+
 	// Stats.
 	Messages      int64
 	BytesOnWire   int64 // inter-node bytes
 	BytesIntra    int64 // intra-node bytes
 	InterMessages int64
+	// DegradedMessages counts inter-node messages that crossed at least one
+	// degraded link (fault injection; see DegradeLink).
+	DegradedMessages int64
 }
 
 // New builds a network for nranks ranks in env. Params are defaulted.
@@ -87,6 +101,7 @@ func New(env *sim.Env, nranks int, p Params) *Network {
 		nodes = 1
 	}
 	n := &Network{env: env, params: p}
+	n.faults = make([][]linkWindow, nodes)
 	n.tx = make([]*sim.Resource, nodes)
 	n.rx = make([]*sim.Resource, nodes)
 	for i := range n.tx {
@@ -104,6 +119,64 @@ func (n *Network) Node(r int) int { return r / n.params.RanksPerNode }
 
 // Nodes returns the number of nodes in the network.
 func (n *Network) Nodes() int { return len(n.tx) }
+
+// DegradeLink injects a degradation episode on every link of a node: between
+// onset and recovery, messages entering or leaving the node see the node's
+// NIC bandwidth divided by bwFactor and extraLatency added per message.
+// Episodes are evaluated on the virtual clock, so injected faults are
+// bit-reproducible. bwFactor below 1 is clamped to 1.
+func (n *Network) DegradeLink(node int, bwFactor, extraLatency, onset, recovery float64) {
+	if node < 0 || node >= len(n.faults) {
+		panic(fmt.Sprintf("fabric: degrade of invalid node %d", node))
+	}
+	if bwFactor < 1 {
+		bwFactor = 1
+	}
+	n.faults[node] = append(n.faults[node],
+		linkWindow{onset: onset, recovery: recovery, bwFactor: bwFactor, extraLatency: extraLatency})
+}
+
+// SetJitter enables deterministic per-message latency jitter on inter-node
+// messages: each message pays an extra uniform draw in [0, max) from a
+// splitmix64 stream seeded by seed. The draw order follows the (already
+// deterministic) simulation event order, so runs are reproducible. max <= 0
+// disables jitter.
+func (n *Network) SetJitter(seed int64, max float64) {
+	if max <= 0 {
+		n.jitterRng, n.jitterMax = 0, 0
+		return
+	}
+	n.jitterRng = uint64(seed) | 1 // never zero, which means "disabled"
+	n.jitterMax = max
+}
+
+// linkState returns the degradation of a node's links at time t.
+func (n *Network) linkState(node int, t float64) (bwFactor, extraLatency float64) {
+	bwFactor = 1
+	for _, w := range n.faults[node] {
+		if t >= w.onset && t < w.recovery {
+			if w.bwFactor > bwFactor {
+				bwFactor = w.bwFactor
+			}
+			extraLatency += w.extraLatency
+		}
+	}
+	return bwFactor, extraLatency
+}
+
+// jitterDraw advances the jitter stream and returns the next latency draw.
+func (n *Network) jitterDraw() float64 {
+	if n.jitterRng == 0 {
+		return 0
+	}
+	// splitmix64 step.
+	n.jitterRng += 0x9e3779b97f4a7c15
+	z := n.jitterRng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return n.jitterMax * float64(z>>11) / float64(1<<53)
+}
 
 // Transfer computes the delivery of size bytes from rank src to rank dst,
 // starting no earlier than `at`. It returns:
@@ -128,9 +201,15 @@ func (n *Network) Transfer(src, dst int, size int64, at float64) (senderFree, re
 	n.BytesOnWire += size
 	n.InterMessages++
 	txStart := at + p.SendOverhead
-	_, txEnd := n.tx[n.Node(src)].Reserve(txStart, float64(size)/p.NICBandwidth)
-	wire := txEnd + p.Latency + float64(size)/p.Bandwidth
-	_, rxEnd := n.rx[n.Node(dst)].Reserve(wire, float64(size)/p.NICBandwidth)
+	srcBW, srcLat := n.linkState(n.Node(src), txStart)
+	dstBW, dstLat := n.linkState(n.Node(dst), txStart)
+	jit := n.jitterDraw()
+	if srcBW > 1 || dstBW > 1 || srcLat > 0 || dstLat > 0 {
+		n.DegradedMessages++
+	}
+	_, txEnd := n.tx[n.Node(src)].Reserve(txStart, float64(size)/(p.NICBandwidth/srcBW))
+	wire := txEnd + p.Latency + srcLat + dstLat + jit + float64(size)/p.Bandwidth
+	_, rxEnd := n.rx[n.Node(dst)].Reserve(wire, float64(size)/(p.NICBandwidth/dstBW))
 	return txEnd, rxEnd
 }
 

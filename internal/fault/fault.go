@@ -1,0 +1,256 @@
+// Package fault is a deterministic, seed-driven fault-plan engine for the
+// simulated cluster: storage stragglers with onset/recovery windows, per-node
+// network degradation and latency jitter, and slow (time-dilated) ranks. A
+// Spec describes a fault *regime*; Gen expands it into a concrete Plan using
+// a stable PRNG, so the same seed always yields the same chaos; Apply injects
+// the plan through the hook points in internal/pfs, internal/fabric, and
+// internal/mpi — all evaluated on the virtual clock, so every faulted run is
+// bit-reproducible.
+//
+// Faults perturb *timing only*: data read through a faulted storage or
+// network path is unchanged, which is what lets tests assert bit-equality of
+// analysis results against ground truth under any plan.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// Spec describes a fault regime to sample a concrete Plan from.
+type Spec struct {
+	// Seed drives the (stable) PRNG; identical specs yield identical plans.
+	Seed int64
+	// NumOSTs, NumNodes, NumRanks size the target cluster; fault sites are
+	// drawn from these ranges.
+	NumOSTs  int
+	NumNodes int
+	NumRanks int
+	// Stragglers is the number of straggling OSTs; each serves requests
+	// StragglerFactor times slower during its episode.
+	Stragglers      int
+	StragglerFactor float64
+	// Links is the number of degraded nodes; each node's NIC bandwidth is
+	// divided by LinkFactor and LinkJitter seconds of uniform per-message
+	// jitter is enabled network-wide when Links > 0.
+	Links      int
+	LinkFactor float64
+	LinkJitter float64
+	// SlowRanks is the number of time-dilated ranks; their computation runs
+	// SlowRankFactor times slower during the episode.
+	SlowRanks      int
+	SlowRankFactor float64
+	// Horizon is the virtual-time span (seconds) episodes are placed in.
+	Horizon float64
+	// OnsetFrac bounds episode onsets to [0, OnsetFrac*Horizon);
+	// DurationFrac scales episode durations (mean DurationFrac*Horizon).
+	OnsetFrac    float64
+	DurationFrac float64
+}
+
+// Defaults fills unset fields with a moderate single-fault regime.
+func (s Spec) Defaults() Spec {
+	if s.NumOSTs == 0 {
+		s.NumOSTs = 156
+	}
+	if s.NumNodes == 0 {
+		s.NumNodes = 1
+	}
+	if s.NumRanks == 0 {
+		s.NumRanks = 1
+	}
+	if s.StragglerFactor == 0 {
+		s.StragglerFactor = 8
+	}
+	if s.LinkFactor == 0 {
+		s.LinkFactor = 4
+	}
+	if s.LinkJitter == 0 {
+		s.LinkJitter = 50e-6
+	}
+	if s.SlowRankFactor == 0 {
+		s.SlowRankFactor = 2
+	}
+	if s.Horizon == 0 {
+		s.Horizon = 1.0
+	}
+	if s.OnsetFrac == 0 {
+		s.OnsetFrac = 0.3
+	}
+	if s.DurationFrac == 0 {
+		s.DurationFrac = 0.5
+	}
+	return s
+}
+
+// Escalate returns spec with all fault counts multiplied by level (level 0
+// clears every fault — the control). The seed is unchanged, so escalation
+// levels of one base spec are directly comparable.
+func Escalate(base Spec, level int) Spec {
+	s := base
+	if level <= 0 {
+		s.Stragglers, s.Links, s.SlowRanks = 0, 0, 0
+		return s
+	}
+	s.Stragglers = base.Stragglers * level
+	s.Links = base.Links * level
+	s.SlowRanks = base.SlowRanks * level
+	return s
+}
+
+// Straggler is one storage fault: OST serves Factor× slower in [Onset,
+// Recovery).
+type Straggler struct {
+	OST             int
+	Factor          float64
+	Onset, Recovery float64
+}
+
+// Link is one network fault: every message entering or leaving Node sees the
+// node's NIC bandwidth divided by BWFactor and ExtraLatency added, in
+// [Onset, Recovery).
+type Link struct {
+	Node            int
+	BWFactor        float64
+	ExtraLatency    float64
+	Onset, Recovery float64
+}
+
+// SlowRank is one compute fault: the rank's computation is dilated Factor×
+// in [Onset, Recovery).
+type SlowRank struct {
+	Rank            int
+	Factor          float64
+	Onset, Recovery float64
+}
+
+// Plan is a concrete, fully-determined fault schedule.
+type Plan struct {
+	Seed       int64
+	JitterMax  float64 // network-wide per-message jitter bound; 0 = none
+	Stragglers []Straggler
+	Links      []Link
+	SlowRanks  []SlowRank
+}
+
+// Gen expands a Spec into a concrete Plan. The PRNG is Go's stable Source,
+// so a given (seed, spec) pair yields the same plan on every run and every
+// platform.
+func Gen(spec Spec) *Plan {
+	spec = spec.Defaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := &Plan{Seed: spec.Seed}
+	episode := func() (onset, recovery float64) {
+		onset = rng.Float64() * spec.OnsetFrac * spec.Horizon
+		dur := spec.DurationFrac * spec.Horizon * (0.5 + rng.Float64())
+		return onset, onset + dur
+	}
+	for _, i := range pick(rng, spec.NumOSTs, spec.Stragglers) {
+		on, off := episode()
+		p.Stragglers = append(p.Stragglers,
+			Straggler{OST: i, Factor: spec.StragglerFactor, Onset: on, Recovery: off})
+	}
+	for _, i := range pick(rng, spec.NumNodes, spec.Links) {
+		on, off := episode()
+		p.Links = append(p.Links, Link{Node: i, BWFactor: spec.LinkFactor,
+			ExtraLatency: spec.LinkJitter, Onset: on, Recovery: off})
+	}
+	if len(p.Links) > 0 {
+		p.JitterMax = spec.LinkJitter
+	}
+	for _, i := range pick(rng, spec.NumRanks, spec.SlowRanks) {
+		on, off := episode()
+		p.SlowRanks = append(p.SlowRanks,
+			SlowRank{Rank: i, Factor: spec.SlowRankFactor, Onset: on, Recovery: off})
+	}
+	return p
+}
+
+// pick draws k distinct values from [0, n) in deterministic order; k is
+// clamped to n.
+func pick(rng *rand.Rand, n, k int) []int {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	return rng.Perm(n)[:k]
+}
+
+// Apply injects the plan into a cluster: straggle windows into fs, link
+// degradation and jitter into w's network, and computation dilation into w's
+// ranks. Must be called after the world and file system are built and before
+// w.Go launches the ranks.
+func (p *Plan) Apply(w *mpi.World, fs *pfs.FS) {
+	for _, s := range p.Stragglers {
+		if fs != nil {
+			fs.SlowOSTWindow(s.OST%fs.Params().NumOSTs, s.Factor, s.Onset, s.Recovery)
+		}
+	}
+	if w == nil {
+		return
+	}
+	net := w.Net()
+	for _, l := range p.Links {
+		net.DegradeLink(l.Node%net.Nodes(), l.BWFactor, l.ExtraLatency, l.Onset, l.Recovery)
+	}
+	if p.JitterMax > 0 {
+		net.SetJitter(p.Seed, p.JitterMax)
+	}
+	for _, s := range p.SlowRanks {
+		w.SetRankDilation(s.Rank%w.Size(), dilation(s.Onset, s.Recovery, s.Factor))
+	}
+}
+
+// dilation returns the wall-time function of a rank that computes at rate
+// 1/factor inside [onset, recovery) and at full speed outside: piecewise
+// integration of d nominal seconds of work started at now.
+func dilation(onset, recovery, factor float64) func(now, d float64) float64 {
+	return func(now, d float64) float64 {
+		t, remaining, elapsed := now, d, 0.0
+		if t < onset {
+			span := onset - t
+			if remaining <= span {
+				return elapsed + remaining
+			}
+			elapsed += span
+			remaining -= span
+			t = onset
+		}
+		if t < recovery {
+			span := recovery - t
+			if wall := remaining * factor; wall <= span {
+				return elapsed + wall
+			}
+			elapsed += span
+			remaining -= span / factor
+		}
+		return elapsed + remaining
+	}
+}
+
+// String renders the plan as a stable human-readable summary.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plan (seed %d):", p.Seed)
+	if len(p.Stragglers) == 0 && len(p.Links) == 0 && len(p.SlowRanks) == 0 {
+		b.WriteString(" none")
+		return b.String()
+	}
+	for _, s := range p.Stragglers {
+		fmt.Fprintf(&b, "\n  ost%d %gx slow [%.3f, %.3f)", s.OST, s.Factor, s.Onset, s.Recovery)
+	}
+	for _, l := range p.Links {
+		fmt.Fprintf(&b, "\n  node%d nic/%g +%.0fus [%.3f, %.3f)",
+			l.Node, l.BWFactor, l.ExtraLatency*1e6, l.Onset, l.Recovery)
+	}
+	for _, s := range p.SlowRanks {
+		fmt.Fprintf(&b, "\n  rank%d %gx dilated [%.3f, %.3f)", s.Rank, s.Factor, s.Onset, s.Recovery)
+	}
+	return b.String()
+}

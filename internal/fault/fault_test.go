@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+func TestGenDeterministic(t *testing.T) {
+	spec := Spec{Seed: 5, NumOSTs: 32, NumNodes: 4, NumRanks: 16,
+		Stragglers: 3, Links: 2, SlowRanks: 2, Horizon: 0.5}
+	p1, p2 := Gen(spec), Gen(spec)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("identical specs produced different plans:\n%v\nvs\n%v", p1, p2)
+	}
+	if p1.String() != p2.String() {
+		t.Fatal("identical plans rendered differently")
+	}
+	other := spec
+	other.Seed = 6
+	if reflect.DeepEqual(Gen(other), p1) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestGenShape(t *testing.T) {
+	spec := Spec{Seed: 1, NumOSTs: 16, NumNodes: 4, NumRanks: 8,
+		Stragglers: 3, Links: 2, SlowRanks: 2, Horizon: 1.0}
+	p := Gen(spec)
+	if len(p.Stragglers) != 3 || len(p.Links) != 2 || len(p.SlowRanks) != 2 {
+		t.Fatalf("wrong fault counts: %v", p)
+	}
+	if p.JitterMax <= 0 {
+		t.Fatal("links present but jitter disabled")
+	}
+	seen := map[int]bool{}
+	for _, s := range p.Stragglers {
+		if s.OST < 0 || s.OST >= 16 {
+			t.Fatalf("straggler OST %d out of range", s.OST)
+		}
+		if seen[s.OST] {
+			t.Fatalf("straggler OST %d drawn twice", s.OST)
+		}
+		seen[s.OST] = true
+		if s.Onset < 0 || s.Recovery <= s.Onset {
+			t.Fatalf("bad episode [%v, %v)", s.Onset, s.Recovery)
+		}
+		if s.Onset > spec.OnsetFrac*spec.Horizon && spec.OnsetFrac != 0 {
+			t.Fatalf("onset %v past bound", s.Onset)
+		}
+	}
+	// Counts are clamped to the population.
+	clamped := Gen(Spec{Seed: 1, NumOSTs: 2, Stragglers: 10, Horizon: 1})
+	if len(clamped.Stragglers) != 2 {
+		t.Fatalf("expected clamp to 2 stragglers, got %d", len(clamped.Stragglers))
+	}
+}
+
+func TestEscalate(t *testing.T) {
+	base := Spec{Seed: 9, Stragglers: 2, Links: 1, SlowRanks: 1}
+	l0 := Escalate(base, 0)
+	if l0.Stragglers != 0 || l0.Links != 0 || l0.SlowRanks != 0 {
+		t.Fatalf("level 0 should clear faults: %+v", l0)
+	}
+	l3 := Escalate(base, 3)
+	if l3.Stragglers != 6 || l3.Links != 3 || l3.SlowRanks != 3 {
+		t.Fatalf("level 3 should triple counts: %+v", l3)
+	}
+	if l3.Seed != base.Seed {
+		t.Fatal("escalation must not change the seed")
+	}
+}
+
+func TestDilation(t *testing.T) {
+	d := dilation(1.0, 3.0, 4.0)
+	cases := []struct {
+		now, nominal, want float64
+	}{
+		{0, 0.5, 0.5},           // entirely before onset
+		{5, 0.5, 0.5},           // entirely after recovery
+		{1.5, 0.25, 1.0},        // entirely inside: 4x
+		{0.5, 1.0, 0.5 + 2.0},   // 0.5 s free, then 0.5 s of work at 4x
+		{2.5, 1.0, 0.5 + 0.875}, // 0.125 s of work fills [2.5,3), rest free
+	}
+	for _, c := range cases {
+		if got := d(c.now, c.nominal); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("dilation(now=%v, d=%v) = %v, want %v", c.now, c.nominal, got, c.want)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	env := sim.NewEnv()
+	w := mpi.NewWorld(env, 4, fabric.Params{RanksPerNode: 2})
+	fs := pfs.New(env, pfs.Params{NumOSTs: 4})
+	// Out-of-range sites must wrap, not panic.
+	p := &Plan{Seed: 3,
+		Stragglers: []Straggler{{OST: 9, Factor: 8, Onset: 0, Recovery: 1}},
+		Links:      []Link{{Node: 5, BWFactor: 4, Onset: 0, Recovery: 1}},
+		SlowRanks:  []SlowRank{{Rank: 7, Factor: 2, Onset: 0, Recovery: 1}},
+		JitterMax:  1e-5,
+	}
+	p.Apply(w, fs)
+	// Plan with no world still applies storage faults.
+	(&Plan{Stragglers: []Straggler{{OST: 1, Factor: 2, Onset: 0, Recovery: 1}}}).Apply(nil, fs)
+}
+
+func TestPlanString(t *testing.T) {
+	empty := &Plan{Seed: 11}
+	if s := empty.String(); !strings.Contains(s, "none") {
+		t.Fatalf("empty plan should render as none: %q", s)
+	}
+	p := Gen(Spec{Seed: 2, NumOSTs: 8, NumNodes: 2, NumRanks: 4,
+		Stragglers: 1, Links: 1, SlowRanks: 1, Horizon: 1})
+	s := p.String()
+	for _, want := range []string{"seed 2", "ost", "node", "rank"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -209,3 +209,27 @@ func (tl *Timeline) Summary() string {
 		tl.Total(trace.Compute), tl.Total(trace.Sys),
 		tl.Total(trace.WaitIO), tl.Total(trace.WaitComm))
 }
+
+// Faults aggregates fault-injection and mitigation counters for one run.
+// This package must not import cc or pfs, so callers copy the counters in
+// (from cc.Stats, pfs.FS, and fabric.Network).
+type Faults struct {
+	// Timeouts / Retries count read requests abandoned under the mitigation
+	// policy and their reissues; BackoffSeconds is total inserted wait.
+	Timeouts       int64
+	Retries        int64
+	BackoffSeconds float64
+	// Rebalances counts read rounds replanned around observed-slow OSTs;
+	// FlaggedOSTs is the cumulative flagged count at those replans.
+	Rebalances  int64
+	FlaggedOSTs int64
+	// DegradedMessages counts inter-node messages that crossed a degraded
+	// link.
+	DegradedMessages int64
+}
+
+// Summary renders the counters as one stable line.
+func (f Faults) Summary() string {
+	return fmt.Sprintf("timeouts %d retries %d backoff %.3fs rebalances %d flagged %d degraded-msgs %d",
+		f.Timeouts, f.Retries, f.BackoffSeconds, f.Rebalances, f.FlaggedOSTs, f.DegradedMessages)
+}

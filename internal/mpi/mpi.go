@@ -29,11 +29,12 @@ const (
 
 // World is the set of all ranks plus the network connecting them.
 type World struct {
-	env    *sim.Env
-	net    *fabric.Network
-	ranks  []*Rank
-	tracer trace.Tracer
-	comms  int // id allocator for tag namespacing
+	env      *sim.Env
+	net      *fabric.Network
+	ranks    []*Rank
+	tracer   trace.Tracer
+	comms    int // id allocator for tag namespacing
+	dilation []func(now, d float64) float64
 }
 
 // NewWorld creates n ranks connected by a network with the given parameters.
@@ -68,6 +69,17 @@ func (w *World) Net() *fabric.Network { return w.net }
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
 
+// SetRankDilation installs a time-dilation hook for one rank's computation:
+// every Sleep of nominal duration d started at virtual time now takes
+// f(now, d) instead. Used by fault injection to model slow (straggling)
+// ranks. Must be called before Go/GoOne; nil removes the hook.
+func (w *World) SetRankDilation(rank int, f func(now, d float64) float64) {
+	if w.dilation == nil {
+		w.dilation = make([]func(now, d float64) float64, len(w.ranks))
+	}
+	w.dilation[rank] = f
+}
+
 // Go launches main on every rank (SPMD). Call env.Run() afterwards to
 // execute the program.
 func (w *World) Go(main func(r *Rank)) {
@@ -76,6 +88,9 @@ func (w *World) Go(main func(r *Rank)) {
 		rr.proc = w.env.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
 			main(rr)
 		})
+		if w.dilation != nil && w.dilation[i] != nil {
+			rr.proc.SetTimeScale(w.dilation[i])
+		}
 	}
 }
 
@@ -85,6 +100,9 @@ func (w *World) GoOne(rank int, main func(r *Rank)) {
 	rr.proc = w.env.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
 		main(rr)
 	})
+	if w.dilation != nil && w.dilation[rank] != nil {
+		rr.proc.SetTimeScale(w.dilation[rank])
+	}
 }
 
 // Rank is one simulated MPI process. All methods must be called from the

@@ -156,7 +156,7 @@ func decodeAttr(buf []byte, pos int) (Attr, int, error) {
 	}
 	nameLen := int(le.Uint64(buf[pos:]))
 	pos += 8
-	if nameLen > 1<<16 || pos+nameLen+2 > len(buf) {
+	if nameLen < 0 || nameLen > 1<<16 || pos+nameLen+2 > len(buf) {
 		return Attr{}, 0, fmt.Errorf("ncfile: corrupt attribute name")
 	}
 	a := Attr{Name: string(buf[pos : pos+nameLen])}
@@ -170,7 +170,7 @@ func decodeAttr(buf []byte, pos int) (Attr, int, error) {
 	case AttrText:
 		tl := int(le.Uint64(buf[pos:]))
 		pos += 8
-		if tl > 1<<20 || pos+tl > len(buf) {
+		if tl < 0 || tl > 1<<20 || pos+tl > len(buf) {
 			return Attr{}, 0, fmt.Errorf("ncfile: corrupt text attribute")
 		}
 		a.Text = string(buf[pos : pos+tl])

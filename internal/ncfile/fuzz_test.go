@@ -1,0 +1,109 @@
+package ncfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// seedHeader builds a representative valid header for the fuzz corpora.
+func seedHeader(tb testing.TB) []byte {
+	s := &Schema{}
+	id, err := s.AddVar("temperature", Float64, []int64{16, 8, 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := s.AddVar("pressure", Float32, []int64{4}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.AddGlobalAttr(TextAttr("history", "created by seedHeader")); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.AddGlobalAttr(FloatAttr("version", 1.5)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.AddVarAttr(id, IntAttr("levels", 16)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.AddVarAttr(id, TextAttr("units", "K")); err != nil {
+		tb.Fatal(err)
+	}
+	s.Layout()
+	return s.encodeHeader()
+}
+
+// FuzzHeaderRoundTrip throws arbitrary bytes at the header decoder. It must
+// never panic or over-allocate; when it accepts an input, re-encoding the
+// decoded schema must reach a canonical fixpoint (encode-of-decode is stable
+// and re-decodable).
+func FuzzHeaderRoundTrip(f *testing.F) {
+	f.Add(seedHeader(f))
+	// Regression seeds: a name length of 2^64-1 used to wrap negative and
+	// slice out of bounds; a giant variable count used to pre-allocate.
+	huge := seedHeader(f)
+	binary.LittleEndian.PutUint64(huge[16:], math.MaxUint64)
+	f.Add(huge)
+	big := seedHeader(f)
+	binary.LittleEndian.PutUint32(big[4:], math.MaxUint32)
+	f.Add(big)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vars, global, varAttrs, err := decodeHeader(data)
+		if err != nil {
+			return
+		}
+		s := &Schema{vars: vars, globalAttrs: global, varAttrs: varAttrs}
+		enc1 := s.encodeHeader()
+		vars2, global2, varAttrs2, err := decodeHeader(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded header failed: %v", err)
+		}
+		s2 := &Schema{vars: vars2, globalAttrs: global2, varAttrs: varAttrs2}
+		if enc2 := s2.encodeHeader(); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode/decode did not reach a fixpoint:\n% x\nvs\n% x", enc1, enc2)
+		}
+	})
+}
+
+// FuzzAttrsRoundTrip is the same property for the attribute codec alone.
+func FuzzAttrsRoundTrip(f *testing.F) {
+	for _, a := range []Attr{
+		TextAttr("units", "degC"),
+		FloatAttr("scale_factor", 0.01),
+		IntAttr("missing_value", -9999),
+	} {
+		buf := make([]byte, attrBytes(a))
+		encodeAttr(buf, 0, a)
+		f.Add(buf)
+	}
+	// Regression seed: text length of 2^64-1 wraps negative.
+	bad := make([]byte, 32)
+	binary.LittleEndian.PutUint64(bad[0:], 1) // name "x"
+	bad[8] = 'x'
+	binary.LittleEndian.PutUint16(bad[9:], uint16(AttrText))
+	binary.LittleEndian.PutUint64(bad[11:], math.MaxUint64)
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, pos, err := decodeAttr(data, 0)
+		if err != nil {
+			return
+		}
+		if pos <= 0 || pos > len(data) {
+			t.Fatalf("decodeAttr consumed %d of %d bytes", pos, len(data))
+		}
+		enc1 := make([]byte, attrBytes(a))
+		if end := encodeAttr(enc1, 0, a); end != len(enc1) {
+			t.Fatalf("encodeAttr wrote %d bytes, attrBytes says %d", end, len(enc1))
+		}
+		a2, _, err := decodeAttr(enc1, 0)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded attribute failed: %v", err)
+		}
+		enc2 := make([]byte, attrBytes(a2))
+		encodeAttr(enc2, 0, a2)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("attribute codec did not reach a fixpoint:\n% x\nvs\n% x", enc1, enc2)
+		}
+	})
+}

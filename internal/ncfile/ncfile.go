@@ -184,15 +184,21 @@ func decodeHeader(buf []byte) ([]Var, []Attr, map[int][]Attr, error) {
 	nvars := int(le.Uint32(buf[4:]))
 	nglobal := int(le.Uint32(buf[8:]))
 	pos := 16
-	vars := make([]Var, 0, nvars)
-	attrCounts := make([]int, 0, nvars)
+	// Counts come off the wire; cap the preallocation so a corrupt header
+	// cannot demand gigabytes before the per-entry bounds checks reject it.
+	prealloc := nvars
+	if prealloc > 1024 {
+		prealloc = 1024
+	}
+	vars := make([]Var, 0, prealloc)
+	attrCounts := make([]int, 0, prealloc)
 	for i := 0; i < nvars; i++ {
 		if pos+8 > len(buf) {
 			return nil, nil, nil, fmt.Errorf("ncfile: truncated header")
 		}
 		nameLen := int(le.Uint64(buf[pos:]))
 		pos += 8
-		if pos+nameLen+12 > len(buf) || nameLen > 1<<16 {
+		if nameLen < 0 || nameLen > 1<<16 || pos+nameLen+12 > len(buf) {
 			return nil, nil, nil, fmt.Errorf("ncfile: corrupt variable %d", i)
 		}
 		v := Var{Name: string(buf[pos : pos+nameLen])}
@@ -212,7 +218,7 @@ func decodeHeader(buf []byte) ([]Var, []Attr, map[int][]Attr, error) {
 		}
 		na := int(le.Uint64(buf[pos:]))
 		pos += 8
-		if na > 1<<12 {
+		if na < 0 || na > 1<<12 {
 			return nil, nil, nil, fmt.Errorf("ncfile: implausible attr count on variable %d", i)
 		}
 		attrCounts = append(attrCounts, na)

@@ -10,6 +10,7 @@ package pfs
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/layout"
 	"repro/internal/sim"
@@ -52,17 +53,29 @@ func (p Params) Defaults() Params {
 	return p
 }
 
+// slowWindow is one injected straggle episode on an OST: between onset and
+// recovery every request served by the OST takes factor times longer.
+type slowWindow struct {
+	onset, recovery float64
+	factor          float64
+}
+
 // FS is a simulated parallel file system.
 type FS struct {
 	env    *sim.Env
 	params Params
 	osts   []*sim.Resource
-	slow   []float64 // per-OST service-time multiplier (0 = 1.0)
+	slow   [][]slowWindow // per-OST straggle schedule
+	health *Health
 
 	// Stats.
 	BytesRead    int64
 	BytesWritten int64
 	Requests     int64
+	// Timeouts / Retries count read requests abandoned for exceeding a
+	// client's ReadPolicy and their reissues (see Client.SetReadPolicy).
+	Timeouts int64
+	Retries  int64
 }
 
 // New creates a file system in env. Params are defaulted.
@@ -70,7 +83,8 @@ func New(env *sim.Env, p Params) *FS {
 	p = p.Defaults()
 	fs := &FS{env: env, params: p}
 	fs.osts = make([]*sim.Resource, p.NumOSTs)
-	fs.slow = make([]float64, p.NumOSTs)
+	fs.slow = make([][]slowWindow, p.NumOSTs)
+	fs.health = newHealth(p.NumOSTs)
 	for i := range fs.osts {
 		fs.osts[i] = env.NewResource(fmt.Sprintf("ost%d", i))
 	}
@@ -81,22 +95,94 @@ func New(env *sim.Env, p Params) *FS {
 // slower from now on (factor 1 restores normal speed). Used to study
 // robustness to storage noise, the paper's fault-tolerance future work.
 func (fs *FS) SlowOST(i int, factor float64) {
-	if factor < 1 {
-		factor = 1
+	// Close any open-ended episodes at the current clock, then (for factor>1)
+	// open a new persistent one. This preserves the original semantics while
+	// episodes and permanent slowdowns compose.
+	now := fs.env.Now()
+	for j := range fs.slow[i] {
+		if fs.slow[i][j].recovery > now {
+			fs.slow[i][j].recovery = now
+		}
 	}
-	fs.slow[i] = factor
+	if factor > 1 {
+		fs.slow[i] = append(fs.slow[i], slowWindow{onset: now, recovery: inf, factor: factor})
+	}
 }
 
-// slowFactor returns the current service-time multiplier of OST i.
-func (fs *FS) slowFactor(i int) float64 {
-	if fs.slow[i] > 1 {
-		return fs.slow[i]
+// SlowOSTWindow injects a straggle episode: OST i serves factor times slower
+// for requests starting in [onset, recovery). Episodes may overlap; the worst
+// factor wins. Evaluated on the virtual clock, so runs are bit-reproducible.
+func (fs *FS) SlowOSTWindow(i int, factor, onset, recovery float64) {
+	if factor <= 1 || recovery <= onset {
+		return
 	}
-	return 1
+	fs.slow[i] = append(fs.slow[i], slowWindow{onset: onset, recovery: recovery, factor: factor})
+}
+
+var inf = math.Inf(1)
+
+// slowFactorAt returns the service-time multiplier of OST i for a request
+// whose service starts at time t.
+func (fs *FS) slowFactorAt(i int, t float64) float64 {
+	f := 1.0
+	for _, w := range fs.slow[i] {
+		if t >= w.onset && t < w.recovery && w.factor > f {
+			f = w.factor
+		}
+	}
+	return f
 }
 
 // Params returns the (defaulted) parameters in use.
 func (fs *FS) Params() Params { return fs.params }
+
+// Health returns the observed-health tracker shared by all clients of fs.
+func (fs *FS) Health() *Health { return fs.health }
+
+// Health accumulates what clients *observed* about each OST — last seen
+// service-time factor and timeout counts — as opposed to the injected ground
+// truth, which a real system cannot read. Mitigation layers (file-domain
+// rebalancing) consult it to steer work away from flagged-slow OSTs. All
+// updates happen in deterministic simulation order.
+type Health struct {
+	lastFactor []float64 // most recently observed service factor per OST
+	timeouts   []int64   // timed-out requests per OST
+}
+
+func newHealth(n int) *Health {
+	h := &Health{lastFactor: make([]float64, n), timeouts: make([]int64, n)}
+	for i := range h.lastFactor {
+		h.lastFactor[i] = 1
+	}
+	return h
+}
+
+// observe records one request's view of OST i.
+func (h *Health) observe(i int, factor float64, timedOut bool) {
+	h.lastFactor[i] = factor
+	if timedOut {
+		h.timeouts[i]++
+	}
+}
+
+// ObservedFactor returns the most recently observed service factor of OST i
+// (1 if never observed or healthy).
+func (h *Health) ObservedFactor(i int) float64 { return h.lastFactor[i] }
+
+// Timeouts returns the number of timed-out requests observed against OST i.
+func (h *Health) Timeouts(i int) int64 { return h.timeouts[i] }
+
+// Flagged returns the OSTs whose last observed factor is at least threshold,
+// in ascending index order (deterministic).
+func (h *Health) Flagged(threshold float64) []int {
+	var out []int
+	for i, f := range h.lastFactor {
+		if f >= threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // OSTBusyTimes returns each OST's cumulative busy time, for load reports.
 func (fs *FS) OSTBusyTimes() []float64 {
@@ -220,6 +306,10 @@ func (f *File) ostIndexFor(off int64) int {
 	return (f.firstOST + int(stripe%int64(f.stripeCount))) % len(f.fs.osts)
 }
 
+// OSTIndex exposes the OST serving the stripe containing off, so mitigation
+// layers can cost file ranges against observed OST health.
+func (f *File) OSTIndex(off int64) int { return f.ostIndexFor(off) }
+
 // pieces invokes fn for each maximal stripe-contained piece of [off,off+n).
 func (f *File) pieces(off, n int64, fn func(pieceOff, pieceLen int64)) {
 	for n > 0 {
@@ -233,6 +323,26 @@ func (f *File) pieces(off, n int64, fn func(pieceOff, pieceLen int64)) {
 	}
 }
 
+// ReadPolicy bounds how long a client waits on one OST read request before
+// abandoning and reissuing it. The zero value disables timeouts.
+type ReadPolicy struct {
+	// Timeout abandons a request whose predicted completion exceeds issue
+	// time + Timeout (seconds). 0 disables.
+	Timeout float64
+	// Retries caps reissues per request piece; after the last retry the
+	// request is accepted however slow it is (data must still arrive).
+	Retries int
+	// Backoff adds Backoff*attempt seconds before each reissue.
+	Backoff float64
+}
+
+// RetryStats counts a client's timeout/retry activity.
+type RetryStats struct {
+	Timeouts       int64
+	Retries        int64
+	BackoffSeconds float64
+}
+
 // Client is a per-rank handle that charges I/O time to a specific simulated
 // process and reports it to a tracer.
 type Client struct {
@@ -240,6 +350,10 @@ type Client struct {
 	proc   *sim.Proc
 	rank   int
 	tracer trace.Tracer
+	policy ReadPolicy
+
+	// Retry counts this client's timeout/retry activity under its ReadPolicy.
+	Retry RetryStats
 }
 
 // Client creates a handle for the given process. tracer may be nil.
@@ -248,6 +362,58 @@ func (fs *FS) Client(proc *sim.Proc, rank int, tracer trace.Tracer) *Client {
 		tracer = trace.Nop{}
 	}
 	return &Client{fs: fs, proc: proc, rank: rank, tracer: tracer}
+}
+
+// SetReadPolicy installs (or, with the zero value, removes) a read
+// timeout/retry policy on this client.
+func (cl *Client) SetReadPolicy(p ReadPolicy) { cl.policy = p }
+
+// ReadPolicy returns the client's current policy.
+func (cl *Client) ReadPolicy() ReadPolicy { return cl.policy }
+
+// FS returns the file system this client talks to.
+func (cl *Client) FS() *FS { return cl.fs }
+
+// reserveAll reserves OST service for every stripe piece of [off, off+n)
+// issued at issueAt and returns the latest completion time. Reads governed by
+// a ReadPolicy abandon a piece whose predicted completion overshoots the
+// timeout — without occupying the OST — and reissue it after a backoff; the
+// final permitted attempt always accepts, since the data must arrive.
+func (cl *Client) reserveAll(f *File, off, n int64, issueAt float64, read bool) float64 {
+	p := cl.fs.params
+	end := issueAt
+	f.pieces(off, n, func(po, pl int64) {
+		i := f.ostIndexFor(po)
+		nominal := p.OSTLatency + float64(pl)/p.OSTBandwidth
+		at := issueAt
+		for attempt := 0; ; attempt++ {
+			start := at
+			if nf := cl.fs.osts[i].NextFree(); nf > start {
+				start = nf
+			}
+			factor := cl.fs.slowFactorAt(i, start)
+			svc := nominal * factor
+			if read && cl.policy.Timeout > 0 && attempt < cl.policy.Retries &&
+				start+svc-at > cl.policy.Timeout {
+				wait := cl.policy.Timeout + cl.policy.Backoff*float64(attempt)
+				at += wait
+				cl.Retry.Timeouts++
+				cl.Retry.Retries++
+				cl.Retry.BackoffSeconds += wait
+				cl.fs.Timeouts++
+				cl.fs.Retries++
+				cl.fs.health.observe(i, factor, true)
+				continue
+			}
+			_, pieceEnd := cl.fs.osts[i].Reserve(at, svc)
+			cl.fs.health.observe(i, factor, false)
+			if pieceEnd > end {
+				end = pieceEnd
+			}
+			break
+		}
+	})
+	return end
 }
 
 // Read performs one blocking contiguous read of len(buf) bytes at offset
@@ -270,17 +436,9 @@ func (cl *Client) transfer(f *File, buf []byte, off int64, write bool) float64 {
 	t0 := cl.proc.Now()
 	// Issue cost: one client CPU overhead per OST request piece.
 	var npieces int
-	end := t0
 	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
 	issueDone := t0 + float64(npieces)*p.ClientOverhead
-	f.pieces(off, int64(len(buf)), func(po, pl int64) {
-		i := f.ostIndexFor(po)
-		svc := (p.OSTLatency + float64(pl)/p.OSTBandwidth) * cl.fs.slowFactor(i)
-		_, pieceEnd := cl.fs.osts[i].Reserve(issueDone, svc)
-		if pieceEnd > end {
-			end = pieceEnd
-		}
-	})
+	end := cl.reserveAll(f, off, int64(len(buf)), issueDone, !write)
 	cl.fs.Requests += int64(npieces)
 	if write {
 		f.backend.WriteAt(buf, off)
@@ -311,15 +469,7 @@ func (cl *Client) ReadAsync(f *File, buf []byte, off int64) (done float64) {
 	var npieces int
 	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
 	issueDone := t0 + float64(npieces)*p.ClientOverhead
-	end := issueDone
-	f.pieces(off, int64(len(buf)), func(po, pl int64) {
-		i := f.ostIndexFor(po)
-		svc := (p.OSTLatency + float64(pl)/p.OSTBandwidth) * cl.fs.slowFactor(i)
-		_, pieceEnd := cl.fs.osts[i].Reserve(issueDone, svc)
-		if pieceEnd > end {
-			end = pieceEnd
-		}
-	})
+	end := cl.reserveAll(f, off, int64(len(buf)), issueDone, true)
 	cl.fs.Requests += int64(npieces)
 	f.backend.ReadAt(buf, off)
 	cl.fs.BytesRead += int64(len(buf))
@@ -363,15 +513,7 @@ func (cl *Client) ReadSparseAsync(f *File, buf []byte, off int64, pieces []layou
 	var npieces int
 	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
 	issueDone := t0 + float64(npieces)*p.ClientOverhead
-	end := issueDone
-	f.pieces(off, int64(len(buf)), func(po, pl int64) {
-		i := f.ostIndexFor(po)
-		svc := (p.OSTLatency + float64(pl)/p.OSTBandwidth) * cl.fs.slowFactor(i)
-		_, pieceEnd := cl.fs.osts[i].Reserve(issueDone, svc)
-		if pieceEnd > end {
-			end = pieceEnd
-		}
-	})
+	end := cl.reserveAll(f, off, int64(len(buf)), issueDone, true)
 	cl.fs.Requests += int64(npieces)
 	for _, pc := range pieces {
 		lo := pc.Offset - off

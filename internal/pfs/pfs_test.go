@@ -299,13 +299,12 @@ func TestSlowOSTInjection(t *testing.T) {
 	env, fs := testFS(Params{NumOSTs: 2})
 	fs.SlowOST(0, 8)
 	fs.SlowOST(0, 1)
-	if fs.slowFactor(0) != 1 {
+	if fs.slowFactorAt(0, env.Now()) != 1 {
 		t.Fatal("SlowOST(1) did not restore normal speed")
 	}
-	_ = env
 	// Sub-1 factors clamp to 1 (no speedups from "negative noise").
 	fs.SlowOST(1, 0.25)
-	if fs.slowFactor(1) != 1 {
+	if fs.slowFactorAt(1, env.Now()) != 1 {
 		t.Fatal("factor < 1 not clamped")
 	}
 }

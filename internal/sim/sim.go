@@ -102,6 +102,7 @@ type Proc struct {
 	resume   chan struct{}
 	gen      uint64
 	finished bool
+	scale    func(now, d float64) float64
 }
 
 // Name returns the name given at Spawn.
@@ -146,8 +147,24 @@ func (p *Proc) SleepUntil(t float64) {
 	p.yieldAndWait()
 }
 
-// Sleep advances the process's clock by d seconds (negative d is a no-op).
-func (p *Proc) Sleep(d float64) { p.SleepUntil(p.env.now + d) }
+// Sleep advances the process's clock by d seconds of *work* (negative d is a
+// no-op). If a time-scale hook is installed (SetTimeScale), the duration is
+// dilated through it — the fault-injection hook point for slow-CPU ranks.
+// Absolute waits (SleepUntil) are never dilated: a slow core computes slowly
+// but does not wait differently.
+func (p *Proc) Sleep(d float64) {
+	if d > 0 && p.scale != nil {
+		d = p.scale(p.env.now, d)
+	}
+	p.SleepUntil(p.env.now + d)
+}
+
+// SetTimeScale installs a dilation hook applied to every subsequent Sleep:
+// f(now, d) returns the virtual seconds the work of nominal duration d takes
+// when started at time now. f must be deterministic and return a value >= 0.
+// Passing nil removes the hook. This is the kernel-level fault-injection
+// point used to model straggling (slowed-down) processes.
+func (p *Proc) SetTimeScale(f func(now, d float64) float64) { p.scale = f }
 
 // Block parks the process with no scheduled wake-up; some other process must
 // call Unblock. why is reported in the deadlock error if nothing ever does.
