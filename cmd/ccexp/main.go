@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ccexp [-scale 0.1] [-quick] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults ...]
+//	ccexp [-scale 0.1] [-quick] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs ...]
 //
 // With no experiment arguments it lists the available experiments. -scale
 // multiplies the real data volume streamed through the simulator (1.0 =
@@ -14,10 +14,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/experiments"
@@ -32,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fl.SetOutput(stderr)
 	scale := fl.Float64("scale", 0.1, "data-volume scale relative to the paper (1.0 = full)")
 	quick := fl.Bool("quick", false, "shrink process counts too (smoke test)")
+	benchDir := fl.String("bench-dir", "", "directory to write BENCH_<id>.json metric files to (created if missing)")
 	fl.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ccexp [flags] all|<experiment> ...\n\nflags:\n")
 		fl.PrintDefaults()
@@ -72,7 +75,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		tb.Fprint(stdout)
 		fmt.Fprintln(stdout)
+		if *benchDir != "" && len(tb.Bench) > 0 {
+			if err := writeBench(*benchDir, tb); err != nil {
+				fmt.Fprintf(stderr, "ccexp: %s: %v\n", r.ID, err)
+				return 1
+			}
+		}
 		fmt.Fprintf(stderr, "(%s regenerated in %.1fs wall)\n", r.ID, time.Since(start).Seconds())
 	}
 	return 0
+}
+
+// writeBench dumps a table's headline metrics as BENCH_<id>.json. Map keys
+// marshal sorted, so the bytes are deterministic.
+func writeBench(dir string, tb *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(tb.Bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+tb.ID+".json"), append(b, '\n'), 0o644)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,5 +77,59 @@ func TestFaultsStdoutDeterministic(t *testing.T) {
 		if !strings.Contains(out1, want) {
 			t.Fatalf("faults output missing %q:\n%s", want, out1)
 		}
+	}
+}
+
+// TestJobsStdoutDeterministic runs the jobs experiment twice and demands
+// byte-identical stdout — the scheduler-determinism acceptance bar for the
+// cluster runtime.
+func TestJobsStdoutDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the jobs experiment twice")
+	}
+	code1, out1, _ := runCmd("-quick", "jobs")
+	if code1 != 0 {
+		t.Fatalf("first run: exit %d", code1)
+	}
+	code2, out2, _ := runCmd("-quick", "jobs")
+	if code2 != 0 {
+		t.Fatalf("second run: exit %d", code2)
+	}
+	if out1 != out2 {
+		t.Fatalf("jobs output not byte-identical:\n--- first\n%s\n--- second\n%s", out1, out2)
+	}
+	for _, want := range []string{"speedup", "bit-identical", "deadline misses: 0 serial, 0 concurrent"} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("jobs output missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+// TestBenchDirWritesJSON checks -bench-dir emits the machine-readable
+// metrics file, with deterministic bytes across runs.
+func TestBenchDirWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the jobs experiment twice")
+	}
+	read := func() string {
+		dir := t.TempDir()
+		if code, _, errb := runCmd("-quick", "-bench-dir", dir, "jobs"); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "BENCH_jobs.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	j1 := read()
+	for _, key := range []string{"virtual_makespan_serial", "virtual_makespan_concurrent",
+		"speedup", "throughput_jobs_per_vs"} {
+		if !strings.Contains(j1, `"`+key+`"`) {
+			t.Fatalf("BENCH_jobs.json missing %q:\n%s", key, j1)
+		}
+	}
+	if j2 := read(); j1 != j2 {
+		t.Fatalf("BENCH_jobs.json not deterministic:\n%s\nvs\n%s", j1, j2)
 	}
 }

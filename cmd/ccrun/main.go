@@ -22,13 +22,11 @@ import (
 	"repro/internal/adio"
 	"repro/internal/cc"
 	"repro/internal/climate"
-	"repro/internal/fabric"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
-	"repro/internal/pfs"
-	"repro/internal/sim"
 	"repro/internal/wrf"
 )
 
@@ -81,20 +79,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("need steps or ny >= procs to split the domain")
 	}
 
-	env := sim.NewEnv()
-	w := mpi.NewWorld(env, *procs, fabric.Params{RanksPerNode: *rpn})
-	fs := pfs.New(env, pfs.Params{})
-	comm := w.Comm()
+	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn})
+	fs := cl.FS()
 
 	if *stragglers > 0 || *slowLinks > 0 || *slowRanks > 0 {
 		plan := fault.Gen(fault.Spec{
 			Seed:    *faultSeed,
-			NumOSTs: fs.Params().NumOSTs, NumNodes: w.Net().Nodes(), NumRanks: *procs,
+			NumOSTs: fs.Params().NumOSTs, NumNodes: cl.World().Net().Nodes(), NumRanks: *procs,
 			Stragglers: *stragglers, StragglerFactor: *stragFac,
 			Links: *slowLinks, SlowRanks: *slowRanks,
 			Horizon: *horizon,
 		})
-		plan.Apply(w, fs)
+		plan.Apply(cl.World(), fs)
 		fmt.Fprintln(stdout, plan)
 	}
 
@@ -175,24 +171,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var rootRes cc.Result
-	errs := make([]error, *procs)
-	w.Go(func(r *mpi.Rank) {
+	makespan, err := cl.RunSPMD(*workload, func(ctx *cluster.JobContext, r *mpi.Rank) error {
 		myIO := job
-		myIO.Slab = slabs[r.Rank()]
-		cl := fs.Client(r.Proc(), r.Rank(), nil)
-		var res cc.Result
-		res, errs[r.Rank()] = cc.ObjectGetVara(r, comm, cl, myIO, op)
+		myIO.Slab = slabs[ctx.Comm().RankOf(r)]
+		res, err := cc.ObjectGetVara(r, ctx.Comm(), ctx.Client(r), myIO, op)
 		if res.Root {
 			rootRes = res
 		}
+		return err
 	})
-	if err := env.Run(); err != nil {
+	if err != nil {
 		return fail("%v", err)
-	}
-	for i, err := range errs {
-		if err != nil {
-			return fail("rank %d: %v", i, err)
-		}
 	}
 
 	fmt.Fprintf(stdout, "mode=%s reduce=%s procs=%d op=%s\n", *mode, *reduce, *procs, op.Name())
@@ -200,7 +189,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if loc, ok := rootRes.State.(cc.Loc); ok && loc.Valid {
 		fmt.Fprintf(stdout, "at coordinates: %v\n", loc.Coords)
 	}
-	fmt.Fprintf(stdout, "virtual makespan: %.4fs\n", env.Now())
+	fmt.Fprintf(stdout, "virtual makespan: %.4fs\n", makespan)
 	st := job.Stats
 	if st.MapElements > 0 {
 		fmt.Fprintf(stdout, "map: %d elements, %.4fs; construction %.4fs; local reduce %.4fs\n",

@@ -2,7 +2,8 @@
 // mean temperature of a 4-D hyperslab (time x level x lat x lon) of a
 // virtual multi-hundred-GB climate dataset, comparing the traditional
 // workflow against collective computing at several computation intensities —
-// a miniature of the paper's Figure 9 sweep, with verified results.
+// a miniature of the paper's Figure 9 sweep, with verified results. All
+// eight runs are jobs queued on one warm cluster sharing the dataset handle.
 //
 // Run: go run ./examples/climate_mean
 package main
@@ -11,29 +12,23 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/adio"
 	"repro/internal/cc"
 	"repro/internal/climate"
-	"repro/internal/fabric"
+	"repro/internal/cluster"
 	"repro/internal/layout"
-	"repro/internal/mpi"
-	"repro/internal/pfs"
-	"repro/internal/sim"
 )
 
 const nprocs = 48
 
-func run(block bool, secPerElem float64) (mean float64, makespan float64, stats cc.Stats) {
-	env := sim.NewEnv()
-	w := mpi.NewWorld(env, nprocs, fabric.Params{RanksPerNode: 12})
-	fs := pfs.New(env, pfs.Params{})
+func main() {
+	cl := cluster.New(cluster.Spec{Ranks: nprocs, RanksPerNode: 12, MaxConcurrent: 1})
 	// Virtual ~400 GB dataset; only the accessed subset is generated.
-	ds, varid, err := climate.NewDataset4D(fs, []int64{1024, 1024, 100, 1024}, 40, 4<<20)
+	ds, varid, err := climate.NewDataset4D(cl.FS(), []int64{1024, 1024, 100, 1024}, 40, 4<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
-	comm := w.Comm()
-	cache := &adio.PlanCache{}
+	cl.RegisterDataset("climate4d", ds)
+	sess := cl.Session("mean-sweep")
 
 	// Subset: 8 months, a latitude band, 4 levels, all longitudes —
 	// interleaved across ranks along latitude.
@@ -41,42 +36,43 @@ func run(block bool, secPerElem float64) (mean float64, makespan float64, stats 
 		Start: []int64{0, 256, 10, 0},
 		Count: []int64{8, 480, 4, 1024},
 	}
-	slabs := climate.SplitAlongDim(sub, 1, nprocs)
+	submit := func(block bool, spe float64) *cluster.CCResult {
+		name := "cc"
+		if block {
+			name = "traditional"
+		}
+		return sess.SubmitCC(cluster.CCJob{
+			Name: fmt.Sprintf("%s-spe%.0e", name, spe), Dataset: "climate4d",
+			VarID: varid, Slab: sub, SplitDim: 1,
+			Op: cc.Mean{}, Reduce: cc.AllToOne, Block: block,
+			SecPerElem: spe,
+		})
+	}
 
-	w.Go(func(r *mpi.Rank) {
-		cl := fs.Client(r.Proc(), r.Rank(), nil)
-		res, err := cc.ObjectGetVara(r, comm, cl, cc.IO{
-			DS: ds, VarID: varid, Slab: slabs[r.Rank()],
-			Block:      block,
-			Reduce:     cc.AllToOne,
-			Params:     adio.Params{CB: 4 << 20, Pipeline: true, PlanCache: cache},
-			SecPerElem: secPerElem,
-			Stats:      &stats,
-		}, cc.Mean{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if res.Root {
-			mean = res.Value
-		}
-	})
-	if err := env.Run(); err != nil {
+	spes := []float64{0, 2e-7, 1e-6, 4e-6}
+	type pair struct{ trad, cc *cluster.CCResult }
+	var pairs []pair
+	for _, spe := range spes {
+		pairs = append(pairs, pair{submit(true, spe), submit(false, spe)})
+	}
+	if _, err := cl.Run(); err != nil {
 		log.Fatal(err)
 	}
-	return mean, env.Now(), stats
-}
+	for _, jr := range sess.Results() {
+		if jr.Err != nil {
+			log.Fatalf("%s: %v", jr.Job.Name, jr.Err)
+		}
+	}
 
-func main() {
 	fmt.Printf("mean temperature of a %d-rank 4-D subset, traditional vs collective computing\n\n", nprocs)
 	fmt.Printf("%-12s %-14s %-14s %-9s %s\n", "comp/elem", "traditional", "collective", "speedup", "mean (°C)")
 	var meanT, meanC float64
-	for _, spe := range []float64{0, 2e-7, 1e-6, 4e-6} {
-		var tT, tC float64
-		meanT, tT, _ = run(true, spe)
-		var st cc.Stats
-		meanC, tC, st = run(false, spe)
-		fmt.Printf("%-12.0e %-14.4f %-14.4f %-9.2f %.4f\n", spe, tT, tC, tT/tC, meanC)
-		if spe == 0 {
+	for i, p := range pairs {
+		tT, tC := p.trad.Duration(), p.cc.Duration()
+		meanT, meanC = p.trad.Res.Value, p.cc.Res.Value
+		fmt.Printf("%-12.0e %-14.4f %-14.4f %-9.2f %.4f\n", spes[i], tT, tC, tT/tC, meanC)
+		if spes[i] == 0 {
+			st := p.cc.Stats
 			fmt.Printf("             (shuffle moved %d partial bytes instead of %d raw: %.0fx less)\n",
 				st.ShuffleBytes+int64(st.IntermediateRecords)*24, st.RawBytes,
 				float64(st.RawBytes)/float64(st.MetadataBytes+16*st.IntermediateRecords+1))

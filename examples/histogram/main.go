@@ -19,11 +19,9 @@ import (
 	"repro/internal/adio"
 	"repro/internal/cc"
 	"repro/internal/climate"
-	"repro/internal/fabric"
+	"repro/internal/cluster"
 	"repro/internal/layout"
 	"repro/internal/mpi"
-	"repro/internal/pfs"
-	"repro/internal/sim"
 )
 
 const (
@@ -32,15 +30,12 @@ const (
 )
 
 func main() {
-	env := sim.NewEnv()
-	w := mpi.NewWorld(env, nprocs, fabric.Params{RanksPerNode: 8})
-	fs := pfs.New(env, pfs.Params{})
-	ds, varid, err := climate.NewDataset3D(fs, []int64{4096, 512, 512}, 40, 4<<20)
+	cl := cluster.New(cluster.Spec{Ranks: nprocs, RanksPerNode: 8})
+	ds, varid, err := climate.NewDataset3D(cl.FS(), []int64{4096, 512, 512}, 40, 4<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
-	comm := w.Comm()
-	cache := &adio.PlanCache{}
+	cl.RegisterDataset("climate", ds)
 
 	// 64 time steps of the full grid, one latitude band per rank.
 	sub := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{64, 512, 512}}
@@ -49,13 +44,12 @@ func main() {
 
 	locals := make([][]int64, nprocs)
 	var global []int64
-	w.Go(func(r *mpi.Rank) {
-		me := r.Rank()
-		cl := fs.Client(r.Proc(), me, nil)
+	if _, err := cl.RunSPMD("histogram", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		me := ctx.Comm().RankOf(r)
 		io := cc.IO{
-			DS: ds, VarID: varid, Slab: slabs[me],
+			DS: ctx.Dataset("climate"), VarID: varid, Slab: slabs[me],
 			Reduce:     cc.AllToAll, // partials come home to their owners
-			Params:     adio.Params{CB: 4 << 20, Pipeline: true, PlanCache: cache},
+			Params:     adio.Params{CB: 4 << 20, Pipeline: true},
 			SecPerElem: 2e-9,
 			// LocalState receives this rank's own reduced partial before the
 			// final reduce — the "further processing locally" hook.
@@ -63,15 +57,15 @@ func main() {
 				locals[me] = append([]int64(nil), st.([]int64)...)
 			},
 		}
-		res, err := cc.ObjectGetVara(r, comm, cl, io, op)
+		res, err := cc.ObjectGetVaraSession(ctx, r, io, op)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if res.Root {
 			global = res.State.([]int64)
 		}
-	})
-	if err := env.Run(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -2,9 +2,9 @@
 //
 // A 1-D float variable is summed by 8 ranks, first the traditional way
 // (collective read, then compute, then MPI_Reduce — Figure 5), then as an
-// object I/O handed to the collective-computing runtime (Figure 6). Both
-// produce the same sum; the object I/O moves less data in the shuffle and
-// finishes sooner.
+// object I/O handed to the collective-computing runtime (Figure 6). Both run
+// as jobs on one warm cluster, produce the same sum, and the object I/O
+// moves less data in the shuffle and finishes sooner.
 //
 // Run: go run ./examples/quickstart
 package main
@@ -15,12 +15,10 @@ import (
 
 	"repro/internal/adio"
 	"repro/internal/cc"
-	"repro/internal/fabric"
+	"repro/internal/cluster"
 	"repro/internal/layout"
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
-	"repro/internal/pfs"
-	"repro/internal/sim"
 )
 
 const (
@@ -28,42 +26,39 @@ const (
 	dim    = 1 << 22 // 4M elements ≈ 32 MB
 )
 
-func buildDataset(fs *pfs.FS) (*ncfile.Dataset, int) {
+func main() {
+	cl := cluster.New(cluster.Spec{Ranks: nprocs, RanksPerNode: 4, MaxConcurrent: 1})
+
+	// x[i] = i/1e6, so the expected sum is analytic.
 	var s ncfile.Schema
-	id, err := s.AddVar("x", ncfile.Float64, []int64{dim})
+	varid, err := s.AddVar("x", ncfile.Float64, []int64{dim})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// x[i] = i/1e6, so the expected sum is analytic.
-	ds, err := ncfile.SynthDataset(fs, "quickstart", &s,
+	ds, err := ncfile.SynthDataset(cl.FS(), "quickstart", &s,
 		[]ncfile.ValueFn{func(c []int64) float64 { return float64(c[0]) / 1e6 }},
 		16, 1<<20, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return ds, id
-}
+	cl.RegisterDataset("x", ds)
+	sess := cl.Session("quickstart")
 
-// traditional is the Figure 5 workflow, written exactly in its shape:
-// define the access region, collective read, local loop, MPI_Reduce.
-func traditional() (sum float64, makespan float64) {
-	env := sim.NewEnv()
-	w := mpi.NewWorld(env, nprocs, fabric.Params{RanksPerNode: 4})
-	fs := pfs.New(env, pfs.Params{})
-	ds, varid := buildDataset(fs)
-	comm := w.Comm()
-
-	w.Go(func(r *mpi.Rank) {
+	// The Figure 5 workflow, written exactly in its shape as a job body:
+	// define the access region, collective read, local loop, MPI_Reduce.
+	var tradSum float64
+	trad := sess.Submit(&cluster.Job{Name: "traditional", Main: func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		comm := ctx.Comm()
 		// start[0] = (dim/nprocs)*rank; count[0] = dim/nprocs;
-		start := []int64{int64(dim / nprocs * r.Rank())}
-		count := []int64{int64(dim / nprocs)}
-		cl := fs.Client(r.Proc(), r.Rank(), nil)
+		slab := layout.Slab{
+			Start: []int64{int64(dim / nprocs * comm.RankOf(r))},
+			Count: []int64{int64(dim / nprocs)},
+		}
 
 		// ncmpi_get_vara_double_all(...)
-		temp, err := ds.GetVaraAll(r, comm, cl, varid,
-			layout.Slab{Start: start, Count: count}, nil, adio.Params{})
+		temp, err := ds.GetVaraAll(r, comm, ctx.Client(r), varid, slab, nil, adio.Params{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 
 		// for(i = 0; i < count[0]; i++) sum += temp[i];
@@ -77,64 +72,35 @@ func traditional() (sum float64, makespan float64) {
 		total := comm.Reduce(r, 0, local, 8,
 			func(a, b interface{}) interface{} { return a.(float64) + b.(float64) })
 		if comm.RankOf(r) == 0 {
-			sum = total.(float64)
+			tradSum = total.(float64)
 		}
+		return nil
+	}})
+
+	// The Figure 6 workflow: declare the region and the computation, group
+	// them into an object I/O job, and hand it to the runtime.
+	obj := sess.SubmitCC(cluster.CCJob{
+		Name: "object-io", Dataset: "x", VarID: varid,
+		Slab:     layout.Slab{Start: []int64{0}, Count: []int64{dim}},
+		SplitDim: 0, Op: cc.Sum{}, Reduce: cc.AllToOne,
+		SecPerElem: 1e-9,
 	})
-	if err := env.Run(); err != nil {
+
+	if _, err := cl.Run(); err != nil {
 		log.Fatal(err)
 	}
-	return sum, env.Now()
-}
-
-// objectIO is the Figure 6 workflow: declare the region and the computation,
-// group them into an object I/O, and hand it to the runtime.
-func objectIO() (sum float64, makespan float64) {
-	env := sim.NewEnv()
-	w := mpi.NewWorld(env, nprocs, fabric.Params{RanksPerNode: 4})
-	fs := pfs.New(env, pfs.Params{})
-	ds, varid := buildDataset(fs)
-	comm := w.Comm()
-	cache := &adio.PlanCache{}
-
-	w.Go(func(r *mpi.Rank) {
-		io := cc.IO{
-			DS:    ds,
-			VarID: varid,
-			Slab: layout.Slab{ // io.start, io.count
-				Start: []int64{int64(dim / nprocs * r.Rank())},
-				Count: []int64{int64(dim / nprocs)},
-			},
-			Mode:       cc.Collective, // io.mode = collective
-			Block:      false,         // io.block = false
-			Reduce:     cc.AllToOne,
-			Params:     adio.Params{Pipeline: true, PlanCache: cache},
-			SecPerElem: 1e-9,
+	for _, jr := range sess.Results() {
+		if jr.Err != nil {
+			log.Fatalf("%s: %v", jr.Job.Name, jr.Err)
 		}
-		cl := fs.Client(r.Proc(), r.Rank(), nil)
-		// MPI_Op_create(compute) + ncmpi_object_get_vara(io, op)
-		res, err := cc.ObjectGetVara(r, comm, cl, io, cc.Sum{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if res.Root {
-			sum = res.Value
-		}
-	})
-	if err := env.Run(); err != nil {
-		log.Fatal(err)
 	}
-	return sum, env.Now()
-}
 
-func main() {
 	want := float64(dim) * float64(dim-1) / 2 / 1e6
-	tSum, tTime := traditional()
-	oSum, oTime := objectIO()
 	fmt.Printf("expected sum:              %.6e\n", want)
-	fmt.Printf("traditional (Figure 5):    %.6e in %.4fs virtual\n", tSum, tTime)
-	fmt.Printf("object I/O (Figure 6):     %.6e in %.4fs virtual\n", oSum, oTime)
-	fmt.Printf("collective computing speedup: %.2fx\n", tTime/oTime)
-	if diff := tSum - oSum; diff > 1 || diff < -1 {
-		log.Fatalf("results differ: %g vs %g", tSum, oSum)
+	fmt.Printf("traditional (Figure 5):    %.6e in %.4fs virtual\n", tradSum, trad.Duration())
+	fmt.Printf("object I/O (Figure 6):     %.6e in %.4fs virtual\n", obj.Res.Value, obj.Duration())
+	fmt.Printf("collective computing speedup: %.2fx\n", trad.Duration()/obj.Duration())
+	if diff := tradSum - obj.Res.Value; diff > 1 || diff < -1 {
+		log.Fatalf("results differ: %g vs %g", tradSum, obj.Res.Value)
 	}
 }

@@ -17,49 +17,42 @@ import (
 
 	"repro/internal/adio"
 	"repro/internal/cc"
-	"repro/internal/fabric"
+	"repro/internal/cluster"
 	"repro/internal/mpi"
-	"repro/internal/pfs"
-	"repro/internal/sim"
 	"repro/internal/wrf"
 )
 
 const nprocs = 32
 
 func main() {
-	env := sim.NewEnv()
-	w := mpi.NewWorld(env, nprocs, fabric.Params{RanksPerNode: 8})
-	fs := pfs.New(env, pfs.Params{})
+	cl := cluster.New(cluster.Spec{Ranks: nprocs, RanksPerNode: 8})
 	storm := wrf.DefaultStorm(64, 384, 384)
-	d, err := wrf.NewDataset(fs, storm, 40, 4<<20)
+	d, err := wrf.NewDataset(cl.FS(), storm, 40, 4<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
-	comm := w.Comm()
 	slabs, err := wrf.SplitTime(d.FullSlab(), nprocs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	op := cc.PerIndex{Inner: cc.MinLoc{}, Keys: storm.NT}
-	cache := &adio.PlanCache{}
 
 	var track []cc.IndexedValue
-	w.Go(func(r *mpi.Rank) {
-		cl := fs.Client(r.Proc(), r.Rank(), nil)
-		res, err := cc.ObjectGetVara(r, comm, cl, cc.IO{
-			DS: d.DS, VarID: d.SLPVar, Slab: slabs[r.Rank()],
+	if _, err := cl.RunSPMD("storm-track", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		res, err := cc.ObjectGetVaraSession(ctx, r, cc.IO{
+			DS: d.DS, VarID: d.SLPVar, Slab: slabs[ctx.Comm().RankOf(r)],
 			Reduce:     cc.AllToOne,
-			Params:     adio.Params{CB: 4 << 20, Pipeline: true, PlanCache: cache},
+			Params:     adio.Params{CB: 4 << 20, Pipeline: true},
 			SecPerElem: 5e-9,
 		}, op)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if res.Root {
 			track = op.Series(res.State)
 		}
-	})
-	if err := env.Run(); err != nil {
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -158,6 +158,25 @@ type Stats struct {
 	FlaggedSlowOSTs int64
 }
 
+// Add accumulates o into s — the session/cluster roll-up over per-job stats.
+func (s *Stats) Add(o Stats) {
+	s.MapElements += o.MapElements
+	s.MapSeconds += o.MapSeconds
+	s.ConstructSeconds += o.ConstructSeconds
+	s.LocalReduceSeconds += o.LocalReduceSeconds
+	s.FinalReduceSeconds += o.FinalReduceSeconds
+	s.MetadataBytes += o.MetadataBytes
+	s.IntermediateRecords += o.IntermediateRecords
+	s.Subsets += o.Subsets
+	s.ShuffleBytes += o.ShuffleBytes
+	s.RawBytes += o.RawBytes
+	s.IOTimeouts += o.IOTimeouts
+	s.IORetries += o.IORetries
+	s.BackoffSeconds += o.BackoffSeconds
+	s.Rebalances += o.Rebalances
+	s.FlaggedSlowOSTs += o.FlaggedSlowOSTs
+}
+
 // constructCostPerSubset is the CPU cost charged per reconstructed logical
 // subset (coordinate arithmetic + metadata indexing).
 const constructCostPerSubset = 100e-9
@@ -170,6 +189,31 @@ type partialMsg struct {
 	state   State
 	records int64
 	mdBytes int64
+}
+
+// SessionEnv is the slice of a persistent cluster session the runtime needs
+// to execute an object I/O: the job's communicator, a storage client per
+// rank, and the session's shared plan cache and accounting sink. It is
+// implemented by cluster.JobContext; declaring the surface here keeps cc
+// independent of the scheduler.
+type SessionEnv interface {
+	Comm() *mpi.Comm
+	Client(r *mpi.Rank) *pfs.Client
+	PlanCache() *adio.PlanCache
+	Stats() *Stats
+}
+
+// ObjectGetVaraSession executes the object I/O inside a cluster session: the
+// communicator and storage client come from the session, and — unless the
+// descriptor overrides them — so do the plan cache and the stats sink.
+func ObjectGetVaraSession(s SessionEnv, r *mpi.Rank, io IO, op Op) (Result, error) {
+	if io.Params.PlanCache == nil {
+		io.Params.PlanCache = s.PlanCache()
+	}
+	if io.Stats == nil {
+		io.Stats = s.Stats()
+	}
+	return ObjectGetVara(r, s.Comm(), s.Client(r), io, op)
 }
 
 // ObjectGetVara executes the object I/O with the given operator — the

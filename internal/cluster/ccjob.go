@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/adio"
+	"repro/internal/cc"
+	"repro/internal/climate"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+)
+
+// CCJob is a declarative collective-computing analysis: one global slab of a
+// registered dataset, split across the job's ranks along SplitDim, reduced by
+// Op. It is the job shape the paper's workloads (sum, histogram, minloc over
+// climate variables) all share, lifted out of the per-example boilerplate.
+type CCJob struct {
+	Name     string
+	Ranks    int     // 0 = all
+	Deadline float64 // seconds after submit; 0 = none
+	// Dataset names a dataset registered with Cluster.RegisterDataset.
+	Dataset string
+	VarID   int
+	// Slab is the global access region; each rank reads its share after an
+	// even split along SplitDim.
+	Slab     layout.Slab
+	SplitDim int
+	Op       cc.Op
+	// Block disables collective computing (the traditional baseline).
+	Block bool
+	// Reduce selects the intermediate reduction mode. Note: with concurrent
+	// jobs, AllToAll float64 merges are arrival-ordered and cross-job network
+	// contention can reorder them; use AllToOne for float64 ops that must be
+	// bit-identical to a solo run, AllToAll for order-independent states
+	// (e.g. integer histogram counts).
+	Reduce cc.ReduceMode
+	// SecPerElem is the map's virtual CPU cost per element.
+	SecPerElem float64
+	// CB is the collective buffer size (0 = 4 MiB).
+	CB int64
+}
+
+// CCResult extends JobResult with the analysis result captured from the
+// reduction root.
+type CCResult struct {
+	*JobResult
+	// Res is the root rank's cc.Result, valid after Run if the job ran.
+	Res cc.Result
+}
+
+// SubmitCC queues a declarative collective-computing job. Jobs with the same
+// access shape (dataset, slab, split, rank count, buffer size) share one
+// collective-I/O plan cache automatically.
+func (c *Cluster) SubmitCC(j CCJob) *CCResult {
+	if j.Op == nil {
+		panic(fmt.Sprintf("cluster: CC job %q has no Op", j.Name))
+	}
+	c.Dataset(j.Dataset) // fail fast on unknown dataset
+	ranks := j.Ranks
+	if ranks == 0 {
+		ranks = c.spec.Ranks
+	}
+	cb := j.CB
+	if cb == 0 {
+		cb = 4 << 20
+	}
+	// The plan is a pure function of the per-comm-rank requests, so jobs with
+	// identical shapes can share plans even on different world-rank subsets.
+	key := fmt.Sprintf("cc:%s:v%d:%v:%v:d%d:r%d:cb%d:b%t",
+		j.Dataset, j.VarID, j.Slab.Start, j.Slab.Count, j.SplitDim, ranks, cb, j.Block)
+	out := &CCResult{}
+	jr := c.Submit(&Job{
+		Name:     j.Name,
+		Ranks:    j.Ranks,
+		Deadline: j.Deadline,
+		PlanKey:  key,
+		Main: func(ctx *JobContext, r *mpi.Rank) error {
+			comm := ctx.Comm()
+			slabs := climate.SplitAlongDim(j.Slab, j.SplitDim, comm.Size())
+			res, err := cc.ObjectGetVaraSession(ctx, r, cc.IO{
+				DS:         ctx.Dataset(j.Dataset),
+				VarID:      j.VarID,
+				Slab:       slabs[comm.RankOf(r)],
+				Block:      j.Block,
+				Reduce:     j.Reduce,
+				Params:     adio.Params{CB: cb, Pipeline: !j.Block},
+				SecPerElem: j.SecPerElem,
+			}, j.Op)
+			if err != nil {
+				return err
+			}
+			if res.Root {
+				out.Res = res
+			}
+			return nil
+		},
+	})
+	out.JobResult = jr
+	return out
+}

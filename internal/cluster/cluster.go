@@ -1,0 +1,203 @@
+// Package cluster is the persistent serving runtime: one simulated machine
+// (sim Env + fabric + parallel file system + rank pool) built from a single
+// declarative Spec, executing a queue of analysis Jobs — sequentially on a
+// warm world or concurrently on disjoint rank subsets via mpi
+// sub-communicators. It is the only place outside tests that constructs a
+// sim.Env; every entry point (examples, cmd/ccrun, internal/experiments)
+// builds its world through cluster.New.
+//
+// Scheduling is FIFO with rank-count fit: the head of the queue is admitted
+// onto the lowest-numbered free ranks as soon as enough are free (and the
+// concurrency cap allows); a head that does not fit blocks the queue — no
+// backfilling, so admission order is deterministic and starvation-free.
+// Each admitted job gets its own mpi tag namespace, so concurrent jobs can
+// never match each other's messages. Jobs carry optional deadlines: a job
+// whose deadline passes while queued is dropped with ErrDeadlineExpired; a
+// job that finishes late is marked DeadlineMiss.
+//
+// Everything runs on the virtual clock: the same Spec and job list produce
+// bit-identical per-job results and makespans on every run.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/adio"
+	"repro/internal/cc"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/ncfile"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Spec declares one simulated machine.
+type Spec struct {
+	// Ranks is the size of the rank pool (required).
+	Ranks int
+	// RanksPerNode sets the fabric topology (0 = fabric default).
+	RanksPerNode int
+	// FS configures the parallel file system (zero value = Lustre-like
+	// defaults: 156 OSTs, 35 GB/s aggregate).
+	FS pfs.Params
+	// TimelineBucket, when > 0, installs a metrics.Timeline tracer with that
+	// bucket width (seconds) for CPU-profile experiments.
+	TimelineBucket float64
+	// MaxConcurrent caps how many jobs run at once; 0 means unlimited
+	// (bounded only by rank-count fit). 1 serializes the queue.
+	MaxConcurrent int
+}
+
+// Cluster is one running machine instance plus its job queue. Create with
+// New, submit jobs (directly or through Sessions), then call Run exactly
+// once; the virtual clock advances only inside Run.
+type Cluster struct {
+	spec  Spec
+	env   *sim.Env
+	w     *mpi.World
+	fs    *pfs.FS
+	tl    *metrics.Timeline
+	world *mpi.Comm
+
+	datasets map[string]*ncfile.Dataset
+	plans    map[string]*adio.PlanCache
+
+	pending    []*JobResult // FIFO admission queue
+	futureSubs int          // SubmitAt callbacks not yet fired
+	results    []*JobResult // every submission, in submission order
+	assign     []*sim.Mailbox
+	done       *sim.Mailbox
+	ran        bool
+}
+
+// New builds the machine described by spec. No process runs until Run.
+func New(spec Spec) *Cluster {
+	if spec.Ranks <= 0 {
+		panic(fmt.Sprintf("cluster: Spec.Ranks %d", spec.Ranks))
+	}
+	env := sim.NewEnv()
+	w := mpi.NewWorld(env, spec.Ranks, fabric.Params{RanksPerNode: spec.RanksPerNode})
+	c := &Cluster{
+		spec: spec, env: env, w: w, fs: pfs.New(env, spec.FS),
+		datasets: make(map[string]*ncfile.Dataset),
+		plans:    make(map[string]*adio.PlanCache),
+	}
+	if spec.TimelineBucket > 0 {
+		c.tl = metrics.NewTimeline(spec.Ranks, spec.TimelineBucket)
+		w.SetTracer(c.tl)
+	}
+	c.world = w.Comm()
+	c.done = env.NewMailbox("cluster.done")
+	c.assign = make([]*sim.Mailbox, spec.Ranks)
+	for i := range c.assign {
+		c.assign[i] = env.NewMailbox(fmt.Sprintf("cluster.assign%d", i))
+	}
+	return c
+}
+
+// Env returns the simulation environment (for fault plans and tests).
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// World returns the MPI world. Fault plans that install rank dilation must
+// be applied before Run.
+func (c *Cluster) World() *mpi.World { return c.w }
+
+// FS returns the parallel file system.
+func (c *Cluster) FS() *pfs.FS { return c.fs }
+
+// Comm returns the world communicator.
+func (c *Cluster) Comm() *mpi.Comm { return c.world }
+
+// Timeline returns the tracer installed by Spec.TimelineBucket (or
+// InstallTimeline), or nil.
+func (c *Cluster) Timeline() *metrics.Timeline { return c.tl }
+
+// InstallTimeline installs a fresh timeline tracer after construction —
+// typically after dataset synthesis, so only the measured run is profiled.
+// It replaces any tracer from Spec.TimelineBucket and must precede Run.
+func (c *Cluster) InstallTimeline(bucket float64) *metrics.Timeline {
+	c.tl = metrics.NewTimeline(c.spec.Ranks, bucket)
+	c.w.SetTracer(c.tl)
+	return c.tl
+}
+
+// Now returns the current virtual time (after Run: the makespan).
+func (c *Cluster) Now() float64 { return c.env.Now() }
+
+// Client builds a storage client for a rank, wired to the cluster tracer.
+func (c *Cluster) Client(r *mpi.Rank) *pfs.Client {
+	var tr trace.Tracer
+	if c.tl != nil {
+		tr = c.tl
+	}
+	return c.fs.Client(r.Proc(), r.Rank(), tr)
+}
+
+// RegisterDataset publishes ds under name so jobs can share the handle.
+func (c *Cluster) RegisterDataset(name string, ds *ncfile.Dataset) {
+	if _, dup := c.datasets[name]; dup {
+		panic(fmt.Sprintf("cluster: dataset %q already registered", name))
+	}
+	c.datasets[name] = ds
+}
+
+// Dataset returns the dataset registered under name.
+func (c *Cluster) Dataset(name string) *ncfile.Dataset {
+	ds, ok := c.datasets[name]
+	if !ok {
+		panic(fmt.Sprintf("cluster: no dataset %q registered", name))
+	}
+	return ds
+}
+
+// PlanCache returns the shared collective-I/O plan cache registered under
+// key, creating it on first use. Jobs naming the same key (Job.PlanKey)
+// reuse each other's plans; callers must only share a key between jobs with
+// identical access shapes (same requests per comm rank), since a cache
+// serves one plan per collective call.
+func (c *Cluster) PlanCache(key string) *adio.PlanCache {
+	pc, ok := c.plans[key]
+	if !ok {
+		pc = &adio.PlanCache{}
+		c.plans[key] = pc
+	}
+	return pc
+}
+
+// Run starts the rank pool and the scheduler, executes the queue to
+// completion, and returns every submission's result in submission order.
+// It must be called exactly once.
+func (c *Cluster) Run() ([]*JobResult, error) {
+	if c.ran {
+		panic("cluster: Run called twice")
+	}
+	c.ran = true
+	c.w.Go(c.worker)
+	c.env.Spawn("scheduler", c.scheduler)
+	if err := c.env.Run(); err != nil {
+		return nil, err
+	}
+	return c.results, nil
+}
+
+// RunSPMD submits a single job spanning every rank, runs the cluster, and
+// returns the virtual makespan — the one-shot shape the examples and
+// experiments use.
+func (c *Cluster) RunSPMD(name string, main func(ctx *JobContext, r *mpi.Rank) error) (float64, error) {
+	jr := c.Submit(&Job{Name: name, Main: main})
+	if _, err := c.Run(); err != nil {
+		return 0, err
+	}
+	return c.env.Now(), jr.Err
+}
+
+// TotalStats sums the per-job stats of every completed job.
+func (c *Cluster) TotalStats() cc.Stats {
+	var tot cc.Stats
+	for _, jr := range c.results {
+		tot.Add(jr.Stats)
+	}
+	return tot
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adio"
+	"repro/internal/cc"
+	"repro/internal/mpi"
+	"repro/internal/ncfile"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// ErrDeadlineExpired marks a job whose deadline passed while it was still
+// queued; the scheduler drops it without starting it.
+var ErrDeadlineExpired = errors.New("cluster: deadline expired before admission")
+
+// Job is one unit of work for the rank pool: an SPMD body executed by Ranks
+// processes on their own sub-communicator.
+type Job struct {
+	// Name labels the job in results and errors.
+	Name string
+	// Ranks is how many ranks the job needs; 0 means every rank.
+	Ranks int
+	// Deadline, when > 0, is the job's latest acceptable completion, in
+	// virtual seconds after submission. An expired queued job is dropped
+	// with ErrDeadlineExpired; a late-finishing job is marked DeadlineMiss.
+	Deadline float64
+	// PlanKey, when non-empty, shares the cluster plan cache registered
+	// under that key (see Cluster.PlanCache); empty gives the job a private
+	// cache.
+	PlanKey string
+	// Main is the job body, run by every assigned rank with the job context
+	// (communicator, storage clients, plan cache, stats).
+	Main func(ctx *JobContext, r *mpi.Rank) error
+}
+
+// JobResult is the scheduler's record of one submission. Timing fields are
+// virtual seconds; they are valid after Cluster.Run returns.
+type JobResult struct {
+	Job    *Job
+	Submit float64 // submission time
+	Start  float64 // admission time (-1 if never started)
+	End    float64 // completion time (-1 if never finished)
+	Ranks  []int   // world ranks the job ran on
+	Err    error   // first rank error, or ErrDeadlineExpired
+	// DeadlineMiss reports the job finished past its deadline (or was
+	// dropped for expiring in the queue).
+	DeadlineMiss bool
+	// Stats accumulates the job's collective-computing accounting (the
+	// default sink of cc.ObjectGetVaraSession).
+	Stats cc.Stats
+
+	session *Session
+}
+
+// QueueWait is the time the job spent queued before admission.
+func (jr *JobResult) QueueWait() float64 { return jr.Start - jr.Submit }
+
+// Duration is the job's service time (End - Start).
+func (jr *JobResult) Duration() float64 { return jr.End - jr.Start }
+
+// Turnaround is submission-to-completion latency (End - Submit).
+func (jr *JobResult) Turnaround() float64 { return jr.End - jr.Submit }
+
+// JobContext is what a running job sees of the cluster: its own
+// communicator (in a private tag namespace), per-rank storage clients, the
+// job's plan cache, and its stats sink. It implements cc.SessionEnv, so job
+// bodies call cc.ObjectGetVaraSession(ctx, r, io, op).
+type JobContext struct {
+	cluster *Cluster
+	job     *Job
+	res     *JobResult
+	comm    *mpi.Comm
+	cache   *adio.PlanCache
+	clients []*pfs.Client // per comm rank, built on first use
+	errs    []error       // per comm rank
+	left    int           // ranks still running
+}
+
+// Comm returns the job's communicator.
+func (ctx *JobContext) Comm() *mpi.Comm { return ctx.comm }
+
+// Cluster returns the owning cluster.
+func (ctx *JobContext) Cluster() *Cluster { return ctx.cluster }
+
+// Client returns r's storage client, created on first use and reused across
+// calls within the job.
+func (ctx *JobContext) Client(r *mpi.Rank) *pfs.Client {
+	me := ctx.comm.RankOf(r)
+	if cl := ctx.clients[me]; cl != nil {
+		return cl
+	}
+	cl := ctx.cluster.Client(r)
+	ctx.clients[me] = cl
+	return cl
+}
+
+// PlanCache returns the job's collective-I/O plan cache (shared with other
+// jobs naming the same Job.PlanKey).
+func (ctx *JobContext) PlanCache() *adio.PlanCache { return ctx.cache }
+
+// Stats returns the job's accounting sink.
+func (ctx *JobContext) Stats() *cc.Stats { return &ctx.res.Stats }
+
+// Dataset resolves a dataset registered on the cluster.
+func (ctx *JobContext) Dataset(name string) *ncfile.Dataset {
+	return ctx.cluster.Dataset(name)
+}
+
+// Submit queues j for execution at virtual time 0. The job definition is
+// copied; the returned result is filled in during Run.
+func (c *Cluster) Submit(j *Job) *JobResult {
+	jr := c.prepare(j, 0)
+	c.pending = append(c.pending, jr)
+	return jr
+}
+
+// SubmitAt queues j at virtual time t > 0 — an arrival, not a batch. Must
+// be called before Run.
+func (c *Cluster) SubmitAt(t float64, j *Job) *JobResult {
+	jr := c.prepare(j, t)
+	c.futureSubs++
+	c.env.At(t, func() {
+		c.futureSubs--
+		c.pending = append(c.pending, jr)
+		c.done.Send(wakeMsg{}, 0, t)
+	})
+	return jr
+}
+
+func (c *Cluster) prepare(j *Job, submit float64) *JobResult {
+	if c.ran {
+		panic("cluster: Submit after Run")
+	}
+	if j.Main == nil {
+		panic(fmt.Sprintf("cluster: job %q has no Main", j.Name))
+	}
+	cp := *j
+	if cp.Ranks == 0 {
+		cp.Ranks = c.spec.Ranks
+	}
+	if cp.Ranks < 0 || cp.Ranks > c.spec.Ranks {
+		panic(fmt.Sprintf("cluster: job %q needs %d ranks on a %d-rank cluster",
+			cp.Name, cp.Ranks, c.spec.Ranks))
+	}
+	jr := &JobResult{Job: &cp, Submit: submit, Start: -1, End: -1}
+	c.results = append(c.results, jr)
+	return jr
+}
+
+// Scheduler-worker control messages.
+type shutdownMsg struct{}
+type wakeMsg struct{}
+type doneMsg struct {
+	ctx      *JobContext
+	commRank int
+	err      error
+}
+
+// worker is each rank's lifetime loop: wait for an assignment, run the job
+// body, report completion; exit on shutdown.
+func (c *Cluster) worker(r *mpi.Rank) {
+	mb := c.assign[r.Rank()]
+	for {
+		m := mb.Recv(r.Proc())
+		ctx, ok := m.Payload.(*JobContext)
+		if !ok {
+			return // shutdownMsg
+		}
+		err := ctx.job.Main(ctx, r)
+		c.done.Send(doneMsg{ctx: ctx, commRank: ctx.comm.RankOf(r), err: err},
+			0, c.env.Now())
+	}
+}
+
+// scheduler admits jobs FIFO onto the lowest-numbered free ranks, collects
+// completions, and shuts the rank pool down once the queue drains.
+func (c *Cluster) scheduler(p *sim.Proc) {
+	free := make([]bool, c.spec.Ranks)
+	for i := range free {
+		free[i] = true
+	}
+	nfree := c.spec.Ranks
+	running := 0
+
+	for {
+		// Admit from the head while it fits; an expired head is dropped.
+		for len(c.pending) > 0 {
+			jr := c.pending[0]
+			j := jr.Job
+			now := c.env.Now()
+			if j.Deadline > 0 && now > jr.Submit+j.Deadline {
+				c.pending = c.pending[1:]
+				jr.Start, jr.End = now, now
+				jr.Err = ErrDeadlineExpired
+				jr.DeadlineMiss = true
+				continue
+			}
+			if j.Ranks > nfree ||
+				(c.spec.MaxConcurrent > 0 && running >= c.spec.MaxConcurrent) {
+				break // strict FIFO: the head blocks the queue
+			}
+			c.pending = c.pending[1:]
+			members := make([]int, 0, j.Ranks)
+			for wr := 0; wr < c.spec.Ranks && len(members) < j.Ranks; wr++ {
+				if free[wr] {
+					free[wr] = false
+					members = append(members, wr)
+				}
+			}
+			nfree -= j.Ranks
+			running++
+			jr.Start = now
+			jr.Ranks = members
+			cache := &adio.PlanCache{}
+			if j.PlanKey != "" {
+				cache = c.PlanCache(j.PlanKey)
+			}
+			ctx := &JobContext{
+				cluster: c, job: j, res: jr,
+				comm:    c.w.SubNS(c.w.NewNamespace(), members),
+				cache:   cache,
+				clients: make([]*pfs.Client, len(members)),
+				errs:    make([]error, len(members)),
+				left:    len(members),
+			}
+			for _, wr := range members {
+				c.assign[wr].Send(ctx, 0, now)
+			}
+		}
+
+		if running == 0 && len(c.pending) == 0 && c.futureSubs == 0 {
+			break
+		}
+
+		m := c.done.Recv(p)
+		d, ok := m.Payload.(doneMsg)
+		if !ok {
+			continue // wakeMsg from SubmitAt
+		}
+		ctx := d.ctx
+		ctx.errs[d.commRank] = d.err
+		ctx.left--
+		if ctx.left > 0 {
+			continue
+		}
+		now := c.env.Now()
+		jr := ctx.res
+		jr.End = now
+		jr.Err = firstErr(ctx.errs)
+		if ctx.job.Deadline > 0 && now > jr.Submit+ctx.job.Deadline {
+			jr.DeadlineMiss = true
+		}
+		if jr.session != nil {
+			jr.session.stats.Add(jr.Stats)
+		}
+		for _, wr := range jr.Ranks {
+			free[wr] = true
+		}
+		nfree += len(jr.Ranks)
+		running--
+	}
+
+	for _, mb := range c.assign {
+		mb.Send(shutdownMsg{}, 0, c.env.Now())
+	}
+}
+
+// firstErr returns the lowest-comm-rank error, wrapped with its rank.
+func firstErr(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,14 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-
-	"repro/internal/fabric"
-	"repro/internal/metrics"
-	"repro/internal/mpi"
+	"repro/internal/cluster"
 	"repro/internal/pfs"
-	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Config scopes the experiments. The paper's runs moved hundreds of GB on a
@@ -32,61 +26,18 @@ func (c Config) Defaults() Config {
 	return c
 }
 
-// cluster is one simulated Hopper-like machine instance. Experiments create
-// a fresh cluster per measured run so state never leaks between runs.
-type cluster struct {
-	env  *sim.Env
-	w    *mpi.World
-	comm *mpi.Comm
-	fs   *pfs.FS
-	tl   *metrics.Timeline
-}
-
-// hopperFabric are the paper's interconnect-ish parameters.
-func hopperFabric(ranksPerNode int) fabric.Params {
-	return fabric.Params{RanksPerNode: ranksPerNode}
-}
-
 // hopperFS returns Lustre-like storage parameters (156 OSTs, 35 GB/s peak).
 func hopperFS() pfs.Params { return pfs.Params{} }
 
-// newCluster builds a cluster of nranks ranks at ranksPerNode, with an
-// optional timeline tracer (bucket seconds > 0 enables it).
-func newCluster(nranks, ranksPerNode int, bucket float64) *cluster {
-	env := sim.NewEnv()
-	w := mpi.NewWorld(env, nranks, hopperFabric(ranksPerNode))
-	cl := &cluster{env: env, w: w, comm: w.Comm(), fs: pfs.New(env, hopperFS())}
-	if bucket > 0 {
-		cl.tl = metrics.NewTimeline(nranks, bucket)
-		w.SetTracer(cl.tl)
-	}
-	return cl
-}
-
-// run executes main on every rank and returns the virtual makespan.
-func (c *cluster) run(main func(r *mpi.Rank)) (float64, error) {
-	c.w.Go(main)
-	if err := c.env.Run(); err != nil {
-		return 0, err
-	}
-	return c.env.Now(), nil
-}
-
-// client builds a pfs client for a rank, wired to the cluster tracer.
-func (c *cluster) client(r *mpi.Rank) *pfs.Client {
-	var tr trace.Tracer
-	if c.tl != nil {
-		tr = c.tl
-	}
-	return c.fs.Client(r.Proc(), r.Rank(), tr)
-}
-
-// firstErr returns the first non-nil error.
-func firstErr(errs []error) error {
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("rank %d: %w", i, err)
-		}
-	}
-	return nil
+// newCluster builds one simulated Hopper-like machine of nranks ranks at
+// ranksPerNode, with an optional timeline tracer (bucket seconds > 0 enables
+// it). Experiments create a fresh machine per measured run so state never
+// leaks between runs.
+func newCluster(nranks, ranksPerNode int, bucket float64) *cluster.Cluster {
+	return cluster.New(cluster.Spec{
+		Ranks:          nranks,
+		RanksPerNode:   ranksPerNode,
+		FS:             hopperFS(),
+		TimelineBucket: bucket,
+	})
 }

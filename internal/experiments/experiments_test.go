@@ -141,6 +141,26 @@ func TestFig13Speedup(t *testing.T) {
 	}
 }
 
+func TestJobsSchedulingBeatsSerial(t *testing.T) {
+	tb := mustRun(t, "jobs")
+	// The experiment itself errors if results are not bit-identical or
+	// concurrent does not beat serial; here check the exported metrics.
+	if tb.Bench["speedup"] <= 1 {
+		t.Fatalf("speedup %g, want > 1", tb.Bench["speedup"])
+	}
+	if tb.Bench["virtual_makespan_concurrent"] >= tb.Bench["virtual_makespan_serial"] {
+		t.Fatalf("bench makespans inconsistent: %+v", tb.Bench)
+	}
+	if tb.Bench["throughput_jobs_per_vs"] <= 0 {
+		t.Fatalf("throughput %g", tb.Bench["throughput_jobs_per_vs"])
+	}
+	for i := range tb.Rows {
+		if tb.Rows[i][6] != "true" {
+			t.Fatalf("row %d not bit-identical: %v", i, tb.Rows[i])
+		}
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	ids := map[string]bool{}
 	for _, r := range All() {
@@ -149,7 +169,7 @@ func TestAllRegistry(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13"} {
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs"} {
 		if !ids[want] {
 			t.Fatalf("missing %s", want)
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/adio"
 	"repro/internal/cc"
 	"repro/internal/climate"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/mpi"
@@ -37,9 +38,9 @@ func (sc faultScenario) run(t *testing.T, plan *fault.Plan, mit cc.Mitigation) (
 	t.Helper()
 	cl := newCluster(sc.nranks, sc.rpn, 0)
 	if plan != nil {
-		plan.Apply(cl.w, cl.fs)
+		plan.Apply(cl.World(), cl.FS())
 	}
-	ds, id, err := climate.NewDataset3D(cl.fs, sc.dims, sc.stripes, sc.stripeSize)
+	ds, id, err := climate.NewDataset3D(cl.FS(), sc.dims, sc.stripes, sc.stripeSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,21 +50,18 @@ func (sc faultScenario) run(t *testing.T, plan *fault.Plan, mit cc.Mitigation) (
 	cache := &adio.PlanCache{}
 	stats := &cc.Stats{}
 	vals := make([]float64, sc.nranks)
-	errs := make([]error, sc.nranks)
-	mk, err := cl.run(func(r *mpi.Rank) {
-		var res cc.Result
-		res, errs[r.Rank()] = cc.ObjectGetVara(r, cl.comm, cl.client(r), cc.IO{
-			DS: ds, VarID: id, Slab: slabs[r.Rank()],
+	mk, err := cl.RunSPMD("faults", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		me := ctx.Comm().RankOf(r)
+		res, err := cc.ObjectGetVara(r, ctx.Comm(), ctx.Client(r), cc.IO{
+			DS: ds, VarID: id, Slab: slabs[me],
 			Reduce: cc.AllToOne, Aggregators: aggrs,
 			Params:   adio.Params{CB: sc.cb, Pipeline: true, PlanCache: cache},
 			Mitigate: mit, Stats: stats,
 		}, cc.Max{})
-		vals[r.Rank()] = res.Value
+		vals[me] = res.Value
+		return err
 	})
 	if err != nil {
-		t.Fatal(err)
-	}
-	if err := firstErr(errs); err != nil {
 		t.Fatal(err)
 	}
 	for r, v := range vals {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/asciichart"
 	"repro/internal/cc"
 	"repro/internal/climate"
+	"repro/internal/cluster"
 	"repro/internal/mpi"
 	"repro/internal/wrf"
 )
@@ -40,7 +41,7 @@ func Fig13(cfg Config) (*Table, error) {
 	runOne := func(nt int64, block bool, spe float64) (float64, cc.Result, error) {
 		cl := newCluster(nranks, rpn, 0)
 		storm := wrf.DefaultStorm(nt, ny, nx)
-		d, err := wrf.NewDataset(cl.fs, storm, 40, 4<<20)
+		d, err := wrf.NewDataset(cl.FS(), storm, 40, 4<<20)
 		if err != nil {
 			return 0, cc.Result{}, err
 		}
@@ -48,11 +49,9 @@ func Fig13(cfg Config) (*Table, error) {
 		task := d.MinSLPTask()
 		cache := &adio.PlanCache{}
 		var rootRes cc.Result
-		errs := make([]error, nranks)
-		makespan, err := cl.run(func(r *mpi.Rank) {
-			var res cc.Result
-			res, errs[r.Rank()] = cc.ObjectGetVara(r, cl.comm, cl.client(r), cc.IO{
-				DS: d.DS, VarID: task.VarID, Slab: slabs[r.Rank()],
+		makespan, err := cl.RunSPMD("wrf-minslp", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+			res, err := cc.ObjectGetVara(r, ctx.Comm(), ctx.Client(r), cc.IO{
+				DS: d.DS, VarID: task.VarID, Slab: slabs[ctx.Comm().RankOf(r)],
 				Block: block, Reduce: cc.AllToOne,
 				Params:     adio.Params{CB: 4 << 20, Pipeline: true, PlanCache: cache},
 				SecPerElem: spe,
@@ -60,11 +59,9 @@ func Fig13(cfg Config) (*Table, error) {
 			if res.Root {
 				rootRes = res
 			}
+			return err
 		})
-		if err != nil {
-			return 0, cc.Result{}, err
-		}
-		return makespan, rootRes, firstErr(errs)
+		return makespan, rootRes, err
 	}
 
 	ntOf := func(gb float64) int64 {
@@ -134,6 +131,7 @@ func All() []Runner {
 		{"fig12", "Metadata vs collective buffer size (Figure 12)", Fig12},
 		{"fig13", "WRF hurricane analysis (Figure 13)", Fig13},
 		{"faults", "Degradation/recovery under fault plans (robustness ablation)", FigFaults},
+		{"jobs", "Concurrent mixed analyses on one cluster (scheduling ablation)", Jobs},
 	}
 }
 

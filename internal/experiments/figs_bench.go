@@ -7,6 +7,7 @@ import (
 	"repro/internal/asciichart"
 	"repro/internal/cc"
 	"repro/internal/climate"
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/layout"
 	"repro/internal/mpi"
@@ -35,7 +36,7 @@ type ccRunSpec struct {
 func runClimate3D(spec ccRunSpec) (float64, error) {
 	cl := newCluster(spec.nranks, spec.rpn, 0)
 	if spec.plan != nil {
-		spec.plan.Apply(cl.w, cl.fs)
+		spec.plan.Apply(cl.World(), cl.FS())
 	}
 	stripes := spec.stripeCount
 	if stripes == 0 {
@@ -45,7 +46,7 @@ func runClimate3D(spec ccRunSpec) (float64, error) {
 	if ss == 0 {
 		ss = 4 << 20
 	}
-	ds, id, err := climate.NewDataset3D(cl.fs, spec.dims, stripes, ss)
+	ds, id, err := climate.NewDataset3D(cl.FS(), spec.dims, stripes, ss)
 	if err != nil {
 		return 0, err
 	}
@@ -56,10 +57,9 @@ func runClimate3D(spec ccRunSpec) (float64, error) {
 		cb = 4 << 20
 	}
 	pipeline := spec.pipeline && !spec.block // Figure 5's baseline blocks
-	errs := make([]error, spec.nranks)
-	makespan, err := cl.run(func(r *mpi.Rank) {
-		_, errs[r.Rank()] = cc.ObjectGetVara(r, cl.comm, cl.client(r), cc.IO{
-			DS: ds, VarID: id, Slab: spec.slabs[r.Rank()],
+	return cl.RunSPMD("climate3d", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		_, err := cc.ObjectGetVara(r, ctx.Comm(), ctx.Client(r), cc.IO{
+			DS: ds, VarID: id, Slab: spec.slabs[ctx.Comm().RankOf(r)],
 			Block: spec.block, Reduce: spec.reduce,
 			Aggregators: aggrs,
 			Params:      adio.Params{CB: cb, Pipeline: pipeline, PlanCache: cache},
@@ -67,11 +67,8 @@ func runClimate3D(spec ccRunSpec) (float64, error) {
 			SecPerElem:  spec.spe,
 			Stats:       spec.stats,
 		}, cc.Sum{})
+		return err
 	})
-	if err != nil {
-		return 0, err
-	}
-	return makespan, firstErr(errs)
 }
 
 // benchDims is the 800 GB climate benchmark variable: (T=204800, 1024,
@@ -389,24 +386,21 @@ func Fig12(cfg Config) (*Table, error) {
 	var mdSeries []float64
 	for _, cb := range cbs {
 		cl := newCluster(nranks, rpn, 0)
-		ds, id, err := climate.NewDataset4D(cl.fs, dims, 40, 4<<20)
+		ds, id, err := climate.NewDataset4D(cl.FS(), dims, 40, 4<<20)
 		if err != nil {
 			return nil, err
 		}
 		stats := &cc.Stats{}
 		cache := &adio.PlanCache{}
-		errs := make([]error, nranks)
-		if _, err := cl.run(func(r *mpi.Rank) {
-			_, errs[r.Rank()] = cc.ObjectGetVara(r, cl.comm, cl.client(r), cc.IO{
-				DS: ds, VarID: id, Slab: slabs[r.Rank()],
+		if _, err := cl.RunSPMD("fig12", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+			_, err := cc.ObjectGetVara(r, ctx.Comm(), ctx.Client(r), cc.IO{
+				DS: ds, VarID: id, Slab: slabs[ctx.Comm().RankOf(r)],
 				Reduce: cc.AllToOne,
 				Params: adio.Params{CB: cb, Pipeline: true, PlanCache: cache},
 				Stats:  stats,
 			}, cc.Sum{})
+			return err
 		}); err != nil {
-			return nil, err
-		}
-		if err := firstErr(errs); err != nil {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("%d", cb>>20), fmt.Sprintf("%.2f", float64(stats.MetadataBytes)/1024),

@@ -6,6 +6,7 @@ import (
 	"repro/internal/adio"
 	"repro/internal/asciichart"
 	"repro/internal/climate"
+	"repro/internal/cluster"
 	"repro/internal/layout"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
@@ -74,24 +75,20 @@ func (s fig1Setup) byteRuns(ds *ncfile.Dataset, id, rank int) []layout.Run {
 func Fig1(cfg Config) (*Table, error) {
 	s := newFig1Setup(cfg)
 	cl := newCluster(s.nranks, s.rpn, 0)
-	ds, id, err := climate.NewDataset4D(cl.fs, s.dims, s.stripeCount, s.stripeSize)
+	ds, id, err := climate.NewDataset4D(cl.FS(), s.dims, s.stripeCount, s.stripeSize)
 	if err != nil {
 		return nil, err
 	}
 	iters := metrics.NewIterStats()
 	cache := &adio.PlanCache{}
-	errs := make([]error, s.nranks)
-	makespan, err := cl.run(func(r *mpi.Rank) {
-		runs := s.byteRuns(ds, id, r.Rank())
+	makespan, err := cl.RunSPMD("fig1", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		runs := s.byteRuns(ds, id, ctx.Comm().RankOf(r))
 		buf := make([]byte, layout.TotalLength(runs))
-		errs[r.Rank()] = adio.CollectiveRead(r, cl.comm, cl.client(r), ds.File(),
+		return adio.CollectiveRead(r, ctx.Comm(), ctx.Client(r), ds.File(),
 			adio.Request{Runs: runs, Buf: buf}, s.aggrs,
 			adio.Params{CB: s.cb, Pipeline: true, Obs: iters, PlanCache: cache})
 	})
 	if err != nil {
-		return nil, err
-	}
-	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
 
@@ -154,29 +151,22 @@ func cpuProfileTable(id, title string, tl *metrics.Timeline, until float64) *Tab
 func Fig2(cfg Config) (*Table, error) {
 	s := newFig1Setup(cfg)
 	cl := newCluster(s.nranks, s.rpn, 0)
-	ds, id, err := climate.NewDataset4D(cl.fs, s.dims, s.stripeCount, s.stripeSize)
+	ds, id, err := climate.NewDataset4D(cl.FS(), s.dims, s.stripeCount, s.stripeSize)
 	if err != nil {
 		return nil, err
 	}
 	cache := &adio.PlanCache{}
-	errs := make([]error, s.nranks)
-	// Two passes over run(): first to learn the makespan? No — pick the
-	// bucket width after the run by re-rendering; Timeline needs a width up
-	// front, so use a small one and let the renderer stride.
-	tl := metrics.NewTimeline(s.nranks, 0.05)
-	cl.w.SetTracer(tl)
-	cl.tl = tl
-	makespan, err := cl.run(func(r *mpi.Rank) {
-		runs := s.byteRuns(ds, id, r.Rank())
+	// Timeline needs a bucket width up front, so use a small one and let the
+	// renderer stride; installed after synthesis so only the run is profiled.
+	tl := cl.InstallTimeline(0.05)
+	makespan, err := cl.RunSPMD("fig2", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		runs := s.byteRuns(ds, id, ctx.Comm().RankOf(r))
 		buf := make([]byte, layout.TotalLength(runs))
-		errs[r.Rank()] = adio.CollectiveRead(r, cl.comm, cl.client(r), ds.File(),
+		return adio.CollectiveRead(r, ctx.Comm(), ctx.Client(r), ds.File(),
 			adio.Request{Runs: runs, Buf: buf}, s.aggrs,
 			adio.Params{CB: s.cb, Pipeline: true, PlanCache: cache})
 	})
 	if err != nil {
-		return nil, err
-	}
-	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
 	t := cpuProfileTable("fig2", "CPU Profiling of Two-Phase Collective I/O", tl, makespan)
@@ -191,24 +181,18 @@ func Fig2(cfg Config) (*Table, error) {
 func Fig3(cfg Config) (*Table, error) {
 	s := newFig1Setup(cfg)
 	cl := newCluster(s.nranks, s.rpn, 0)
-	ds, id, err := climate.NewDataset4D(cl.fs, s.dims, s.stripeCount, s.stripeSize)
+	ds, id, err := climate.NewDataset4D(cl.FS(), s.dims, s.stripeCount, s.stripeSize)
 	if err != nil {
 		return nil, err
 	}
-	tl := metrics.NewTimeline(s.nranks, 0.05)
-	cl.w.SetTracer(tl)
-	cl.tl = tl
-	errs := make([]error, s.nranks)
-	makespan, err := cl.run(func(r *mpi.Rank) {
-		runs := s.byteRuns(ds, id, r.Rank())
+	tl := cl.InstallTimeline(0.05)
+	makespan, err := cl.RunSPMD("fig3", func(ctx *cluster.JobContext, r *mpi.Rank) error {
+		runs := s.byteRuns(ds, id, ctx.Comm().RankOf(r))
 		buf := make([]byte, layout.TotalLength(runs))
-		errs[r.Rank()] = adio.IndependentRead(cl.client(r), ds.File(),
+		return adio.IndependentRead(ctx.Client(r), ds.File(),
 			adio.Request{Runs: runs, Buf: buf}, adio.Params{SieveThreshold: 64 << 10})
 	})
 	if err != nil {
-		return nil, err
-	}
-	if err := firstErr(errs); err != nil {
 		return nil, err
 	}
 	t := cpuProfileTable("fig3", "CPU Profiling of Independent I/O", tl, makespan)

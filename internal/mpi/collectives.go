@@ -10,25 +10,48 @@ import (
 // Comm must be made by every member in the same order (SPMD), as in MPI.
 type Comm struct {
 	w       *World
-	id      int
+	ns      int         // tag namespace (one per concurrently-running job)
+	id      int         // communicator id within the namespace
 	members []int       // comm rank -> world rank
 	index   map[int]int // world rank -> comm rank
 	seq     []int       // per-member collective sequence number
 }
 
-// Comm returns a communicator over all world ranks (MPI_COMM_WORLD).
+// Comm returns a communicator over all world ranks (MPI_COMM_WORLD), in the
+// default tag namespace.
 func (w *World) Comm() *Comm {
 	all := make([]int, len(w.ranks))
 	for i := range all {
 		all[i] = i
 	}
-	return w.newComm(all)
+	return w.newComm(0, all)
 }
 
-func (w *World) newComm(members []int) *Comm {
-	c := &Comm{w: w, id: w.comms, members: members,
+// NewNamespace allocates a fresh tag namespace. Communicators created in
+// different namespaces can never produce equal collective tags, so two jobs
+// sharing one world — each creating its own communicators — cannot match
+// each other's messages no matter how many collectives or communicators
+// either one issues. The cluster scheduler allocates one per admitted job.
+func (w *World) NewNamespace() int {
+	w.nsSeq++
+	if w.nsSeq >= maxNamespaces {
+		panic(fmt.Sprintf("mpi: more than %d tag namespaces", maxNamespaces))
+	}
+	return w.nsSeq
+}
+
+func (w *World) newComm(ns int, members []int) *Comm {
+	if ns < 0 || ns >= maxNamespaces {
+		panic(fmt.Sprintf("mpi: tag namespace %d out of range", ns))
+	}
+	id := w.comms[ns]
+	if id >= commsPerNamespace {
+		panic(fmt.Sprintf("mpi: more than %d communicators in tag namespace %d",
+			commsPerNamespace, ns))
+	}
+	w.comms[ns] = id + 1
+	c := &Comm{w: w, ns: ns, id: id, members: members,
 		index: make(map[int]int, len(members)), seq: make([]int, len(members))}
-	w.comms++
 	for i, wr := range members {
 		if wr < 0 || wr >= len(w.ranks) {
 			panic(fmt.Sprintf("mpi: communicator member %d out of range", wr))
@@ -41,11 +64,17 @@ func (w *World) newComm(members []int) *Comm {
 	return c
 }
 
-// Sub creates a communicator of the given world ranks, sorted ascending.
+// Sub creates a communicator of the given world ranks, sorted ascending, in
+// the default tag namespace.
 func (w *World) Sub(members []int) *Comm {
+	return w.SubNS(0, members)
+}
+
+// SubNS is Sub in an explicit tag namespace (from NewNamespace).
+func (w *World) SubNS(ns int, members []int) *Comm {
 	m := append([]int(nil), members...)
 	sort.Ints(m)
-	return w.newComm(m)
+	return w.newComm(ns, m)
 }
 
 // Size returns the number of members.
@@ -72,17 +101,43 @@ func (c *Comm) Contains(wr int) bool {
 	return ok
 }
 
-// tagSpacePerComm bounds the number of collective tags a communicator can
-// allocate before colliding with the next communicator's tag space.
-const tagSpacePerComm = 1 << 30
+// Collective tags are negative to stay out of the user tag space and are
+// partitioned as
+//
+//	tag = -(1 + ns<<(commBits+seqBits) | id<<seqBits | seq)
+//
+// so a (namespace, communicator, collective-sequence) triple maps to a
+// unique tag. Exhausting a field panics instead of wrapping: the previous
+// single-counter scheme let a communicator whose collective sequence passed
+// tagSpacePerComm bleed silently into the next communicator's tag block —
+// on a persistent world serving an unbounded job stream, two communicators
+// over the same ranks could then match each other's messages.
+const (
+	seqBits  = 30 // collective calls per communicator
+	commBits = 12 // communicators per namespace
+	nsBits   = 21 // namespaces per world (fits negated int64 with room to spare)
+
+	tagSpacePerComm   = 1 << seqBits
+	commsPerNamespace = 1 << commBits
+	maxNamespaces     = 1 << nsBits
+)
+
+// tagAt encodes the collective tag for sequence number s on c.
+func (c *Comm) tagAt(s int) int {
+	if s < 0 || s >= tagSpacePerComm {
+		panic(fmt.Sprintf("mpi: communicator (ns %d, id %d) exhausted its %d collective tags",
+			c.ns, c.id, tagSpacePerComm))
+	}
+	return -(1 + (c.ns<<(commBits+seqBits) | c.id<<seqBits | s))
+}
 
 // nextTag allocates the collective tag for r's next collective on c. Tags
-// are negative to stay out of the user tag space, and unique per (comm,
-// collective call) because every member calls collectives in the same order.
+// are unique per (comm, collective call) because every member calls
+// collectives in the same order.
 func (c *Comm) nextTag(me int) int {
 	s := c.seq[me]
 	c.seq[me]++
-	return -(1 + c.id*tagSpacePerComm + s)
+	return c.tagAt(s)
 }
 
 // ReserveTags allocates n consecutive collective tags for a library-level
@@ -92,8 +147,12 @@ func (c *Comm) nextTag(me int) int {
 func (c *Comm) ReserveTags(r *Rank, n int) int {
 	me := c.mustRank(r)
 	s := c.seq[me]
+	if n > 0 && s+n > tagSpacePerComm {
+		panic(fmt.Sprintf("mpi: reserving %d tags would exhaust communicator (ns %d, id %d)",
+			n, c.ns, c.id))
+	}
 	c.seq[me] += n
-	return -(1 + c.id*tagSpacePerComm + s)
+	return c.tagAt(s)
 }
 
 // send/recv in comm-rank space.

@@ -33,7 +33,8 @@ type World struct {
 	net      *fabric.Network
 	ranks    []*Rank
 	tracer   trace.Tracer
-	comms    int // id allocator for tag namespacing
+	nsSeq    int         // tag-namespace allocator (0 = default namespace)
+	comms    map[int]int // per-namespace communicator id allocator
 	dilation []func(now, d float64) float64
 }
 
@@ -42,7 +43,8 @@ func NewWorld(env *sim.Env, n int, p fabric.Params) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("mpi: world size %d", n))
 	}
-	w := &World{env: env, net: fabric.New(env, n, p), tracer: trace.Nop{}}
+	w := &World{env: env, net: fabric.New(env, n, p), tracer: trace.Nop{},
+		comms: make(map[int]int)}
 	w.ranks = make([]*Rank, n)
 	for i := range w.ranks {
 		w.ranks[i] = &Rank{w: w, rank: i}
