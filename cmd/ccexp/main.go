@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	ccexp [-scale 0.1] [-quick] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs ...]
+//	ccexp [-scale 0.1] [-quick] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs|profile-jobs ...]
+//	ccexp -experiment jobs -trace trace.json -metrics metrics.txt
 //
 // With no experiment arguments it lists the available experiments. -scale
 // multiplies the real data volume streamed through the simulator (1.0 =
@@ -11,6 +12,13 @@
 // sizes) always match the paper. Tables go to stdout and are byte-identical
 // across runs (the simulation is deterministic); wall-clock timing goes to
 // stderr.
+//
+// -trace writes a Chrome trace-event JSON file (load it at ui.perfetto.dev)
+// of the experiment's instrumented cluster run, and -metrics writes the
+// matching metrics-registry dump. Both require exactly one experiment so the
+// trace unambiguously describes one run; both files are byte-identical
+// across runs, like the tables. -experiment is a repeatable alias for the
+// positional experiment arguments.
 package main
 
 import (
@@ -23,7 +31,18 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// experimentList collects repeated -experiment flags.
+type experimentList []string
+
+func (l *experimentList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *experimentList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -35,6 +54,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fl.Float64("scale", 0.1, "data-volume scale relative to the paper (1.0 = full)")
 	quick := fl.Bool("quick", false, "shrink process counts too (smoke test)")
 	benchDir := fl.String("bench-dir", "", "directory to write BENCH_<id>.json metric files to (created if missing)")
+	traceOut := fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) here; needs exactly one experiment")
+	metricsOut := fl.String("metrics", "", "write the metrics-registry dump here; needs exactly one experiment")
+	var expFlags experimentList
+	fl.Var(&expFlags, "experiment", "experiment to run (repeatable; alias for positional arguments)")
 	fl.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ccexp [flags] all|<experiment> ...\n\nflags:\n")
 		fl.PrintDefaults()
@@ -46,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
-	rest := fl.Args()
+	rest := append([]string(expFlags), fl.Args()...)
 	if len(rest) == 0 {
 		fl.Usage()
 		return 2
@@ -66,6 +89,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		runners = append(runners, r)
 	}
+	if (*traceOut != "" || *metricsOut != "") && len(runners) != 1 {
+		fmt.Fprintf(stderr, "ccexp: -trace/-metrics need exactly one experiment (got %d)\n", len(runners))
+		return 2
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		cfg.Obs = obs.New()
+	}
 	for _, r := range runners {
 		start := time.Now()
 		tb, err := r.Run(cfg)
@@ -83,7 +113,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "(%s regenerated in %.1fs wall)\n", r.ID, time.Since(start).Seconds())
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, cfg.Obs); err != nil {
+			fmt.Fprintf(stderr, "ccexp: trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "(trace: %d spans -> %s; open at ui.perfetto.dev)\n", cfg.Obs.NumSpans(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(cfg.Obs.Metrics().Dump()), 0o644); err != nil {
+			fmt.Fprintf(stderr, "ccexp: metrics: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeTrace exports the tracer's spans as Chrome trace-event JSON.
+func writeTrace(path string, ot *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ot.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeBench dumps a table's headline metrics as BENCH_<id>.json. Map keys

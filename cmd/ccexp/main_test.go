@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -102,6 +103,77 @@ func TestJobsStdoutDeterministic(t *testing.T) {
 		if !strings.Contains(out1, want) {
 			t.Fatalf("jobs output missing %q:\n%s", want, out1)
 		}
+	}
+}
+
+// TestTraceNeedsOneExperiment pins the -trace/-metrics guard: a trace file
+// must describe exactly one experiment run.
+func TestTraceNeedsOneExperiment(t *testing.T) {
+	dir := t.TempDir()
+	tr := filepath.Join(dir, "t.json")
+	for _, args := range [][]string{
+		{"-trace", tr},
+		{"-trace", tr, "table1", "fig1"},
+		{"-metrics", filepath.Join(dir, "m.txt"), "all"},
+	} {
+		code, _, errb := runCmd(args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr %q)", args, code, errb)
+		}
+	}
+}
+
+// TestTraceExportDeterministic is the observability acceptance bar:
+// `ccexp -experiment jobs -trace ...` must write valid Chrome trace-event
+// JSON with the scheduler/cc/adio span hierarchy, plus a metrics dump, and
+// both files must be byte-identical across runs.
+func TestTraceExportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the jobs experiment twice")
+	}
+	read := func() (string, string) {
+		dir := t.TempDir()
+		tr := filepath.Join(dir, "trace.json")
+		mt := filepath.Join(dir, "metrics.txt")
+		code, _, errb := runCmd("-quick", "-experiment", "jobs", "-trace", tr, "-metrics", mt)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errb)
+		}
+		tb, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := os.ReadFile(mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(tb), string(mb)
+	}
+	tr1, m1 := read()
+	var parsed struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(tr1), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 20 {
+		t.Fatalf("only %d trace events", len(parsed.TraceEvents))
+	}
+	for _, want := range []string{`"run"`, `"queued"`, `"cc.get"`, `"adio.iter"`} {
+		if !strings.Contains(tr1, want) {
+			t.Errorf("trace missing %s events", want)
+		}
+	}
+	if !strings.Contains(m1, "counter cluster_jobs_admitted") ||
+		!strings.Contains(m1, "histogram cluster_queue_wait_seconds") {
+		t.Errorf("metrics dump missing scheduler metrics:\n%s", m1)
+	}
+	tr2, m2 := read()
+	if tr1 != tr2 {
+		t.Error("trace export not byte-identical across runs")
+	}
+	if m1 != m2 {
+		t.Error("metrics dump not byte-identical across runs")
 	}
 }
 

@@ -11,6 +11,12 @@
 //	ccrun -workload wrf -task minslp -procs 48 -steps 96
 //	ccrun -workload climate -op maxloc -mode traditional
 //	ccrun -workload climate -stragglers 2 -read-timeout 0.02 -rebalance-rounds 4
+//	ccrun -workload climate -op mean -trace trace.json -metrics metrics.txt
+//
+// -trace writes a Chrome trace-event JSON file of the run's span hierarchy
+// (scheduler, cc phases, adio iterations, pfs requests, mpi messages) for
+// ui.perfetto.dev; -metrics writes the matching metrics-registry dump. Both
+// are byte-identical across runs of the same command line.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
+	"repro/internal/obs"
 	"repro/internal/wrf"
 )
 
@@ -66,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		readRetries = fl.Int("read-retries", 4, "retry budget per OST request")
 		readBackoff = fl.Float64("read-backoff", 0, "extra wait per reissue (s)")
 		rebalRounds = fl.Int("rebalance-rounds", 0, "split the read into rounds, replanning domains around flagged-slow OSTs; 0|1 = off")
+
+		// Observability (see internal/obs).
+		traceOut   = fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) of the run here")
+		metricsOut = fl.String("metrics", "", "write the metrics-registry dump here")
 	)
 	if err := fl.Parse(args); err != nil {
 		return 2
@@ -79,7 +90,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("need steps or ny >= procs to split the domain")
 	}
 
-	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn})
+	var ot *obs.Tracer
+	if *traceOut != "" || *metricsOut != "" {
+		ot = obs.New()
+	}
+	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn, Obs: ot})
 	fs := cl.FS()
 
 	if *stragglers > 0 || *slowLinks > 0 || *slowRanks > 0 {
@@ -201,6 +216,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if st.IOTimeouts > 0 || st.Rebalances > 0 {
 		fmt.Fprintf(stdout, "mitigation: %d timeouts, %d retries, %.4fs backoff, %d rebalances (%d flagged-slow OSTs)\n",
 			st.IOTimeouts, st.IORetries, st.BackoffSeconds, st.Rebalances, st.FlaggedSlowOSTs)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail("trace: %v", err)
+		}
+		if err := ot.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return fail("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			return fail("trace: %v", err)
+		}
+		fmt.Fprintf(stderr, "(trace: %d spans -> %s; open at ui.perfetto.dev)\n", ot.NumSpans(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, []byte(ot.Metrics().Dump()), 0o644); err != nil {
+			return fail("metrics: %v", err)
+		}
 	}
 	return 0
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,6 +56,53 @@ func TestSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stdout missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTraceSmoke runs a traced job from the CLI and checks the trace file is
+// valid Chrome trace-event JSON and the metrics dump covers the run,
+// byte-identically across two runs.
+func TestTraceSmoke(t *testing.T) {
+	read := func() (string, string) {
+		dir := t.TempDir()
+		tr := filepath.Join(dir, "trace.json")
+		mt := filepath.Join(dir, "metrics.txt")
+		args := append(append([]string{}, smokeArgs...), "-op", "mean", "-trace", tr, "-metrics", mt)
+		code, _, errb := runCmd(args...)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr %q", code, errb)
+		}
+		tb, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := os.ReadFile(mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(tb), string(mb)
+	}
+	tr1, m1 := read()
+	var parsed struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(tr1), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 10 {
+		t.Fatalf("only %d trace events", len(parsed.TraceEvents))
+	}
+	for _, want := range []string{`"run"`, `"cc.get"`, `"pfs.read"`} {
+		if !strings.Contains(tr1, want) {
+			t.Errorf("trace missing %s events", want)
+		}
+	}
+	if !strings.Contains(m1, "counter pfs_read_bytes") {
+		t.Errorf("metrics dump missing pfs counters:\n%s", m1)
+	}
+	tr2, m2 := read()
+	if tr1 != tr2 || m1 != m2 {
+		t.Error("traced run not byte-identical across runs")
 	}
 }
 

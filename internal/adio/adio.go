@@ -6,6 +6,7 @@ import (
 	"repro/internal/datatype"
 	"repro/internal/layout"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -163,6 +164,9 @@ func CollectiveReadPlanned(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File
 		}
 	}
 	r.Sys(float64(pl.TotalRuns()) * p.PlanCost)
+	if ot := r.World().Obs(); ot != nil {
+		ot.Metrics().Counter("adio_collective_reads").Inc()
+	}
 	if p.ReadTimeout > 0 {
 		saved := cl.ReadPolicy()
 		cl.SetReadPolicy(pfs.ReadPolicy{Timeout: p.ReadTimeout, Retries: p.ReadRetries, Backoff: p.ReadBackoff})
@@ -260,6 +264,7 @@ func recvIter(r *mpi.Rank, c *mpi.Comm, pl *Plan, me, k, tag, expectPos int,
 func twoPhaseReadBlocking(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 	rq Request, pl *Plan, me, tagBase int, p Params, hooks *Hooks) error {
 	aggrIdx := pl.AggrIndex(me)
+	ot := r.World().Obs()
 	var buf []byte
 	if aggrIdx >= 0 {
 		buf = make([]byte, p.CB)
@@ -279,11 +284,15 @@ func twoPhaseReadBlocking(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 				if hooks != nil {
 					transformed = hooks.Transform(aggrIdx, k, it, ext)
 				}
+				tXf := r.Now()
 				if hooks == nil || !hooks.SuppressShuffle {
 					r.WaitAll(aggShuffle(r, c, pl, me, tag, it, ext, &rq, p, hooks, transformed))
 				}
 				if p.Obs != nil {
 					p.Obs.ObserveIter(aggrIdx, k, tRead-t0, r.Now()-tRead, it.ReadHi-it.ReadLo)
+				}
+				if ot != nil {
+					emitIterSpans(ot, r, aggrIdx, k, it, t0, tRead, tXf, r.Now())
 				}
 			}
 		}
@@ -300,6 +309,7 @@ func twoPhaseReadBlocking(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 func twoPhaseReadPipelined(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 	rq Request, pl *Plan, me, tagBase int, p Params, hooks *Hooks) error {
 	aggrIdx := pl.AggrIndex(me)
+	ot := r.World().Obs()
 	var bufs [2][]byte
 	myIters := 0
 	if aggrIdx >= 0 {
@@ -356,11 +366,15 @@ func twoPhaseReadPipelined(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File
 			if hooks != nil {
 				transformed = hooks.Transform(aggrIdx, k, it, ext)
 			}
+			tXf := r.Now()
 			if hooks == nil || !hooks.SuppressShuffle {
 				r.WaitAll(aggShuffle(r, c, pl, me, tag, it, ext, &rq, p, hooks, transformed))
 			}
 			if p.Obs != nil {
 				p.Obs.ObserveIter(aggrIdx, k, tRead-t0, r.Now()-tRead, it.ReadHi-it.ReadLo)
+			}
+			if ot != nil {
+				emitIterSpans(ot, r, aggrIdx, k, it, t0, tRead, tXf, r.Now())
 			}
 		}
 		if receiving {
@@ -377,6 +391,24 @@ func pieceRuns(it *Iter) []layout.Run {
 		runs[i] = pc.Run
 	}
 	return runs
+}
+
+// emitIterSpans records one aggregator iteration as nested spans: the
+// enclosing adio.iter, the read portion [t0, tRead] (for the pipelined
+// protocol this is the wait for the previously issued read), and the shuffle
+// portion [tXf, end] — the transform between tRead and tXf belongs to the cc
+// layer, which emits its own spans there.
+func emitIterSpans(ot *obs.Tracer, r *mpi.Rank, aggrIdx, k int, it *Iter,
+	t0, tRead, tXf, end float64) {
+	ot.SpanRank(r.Rank(), "adio.iter", "adio", t0, end,
+		obs.I("iter", int64(k)), obs.I("aggr", int64(aggrIdx)),
+		obs.I("bytes", it.ReadHi-it.ReadLo))
+	if tRead > t0 {
+		ot.SpanRank(r.Rank(), "adio.read", "adio", t0, tRead)
+	}
+	if end > tXf {
+		ot.SpanRank(r.Rank(), "adio.shuffle", "adio", tXf, end)
+	}
 }
 
 // RequestFromType builds a Request from a derived datatype instantiated at

@@ -7,6 +7,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -184,6 +185,16 @@ const constructCostPerSubset = 100e-9
 // mergeCost is the CPU cost charged per partial-result merge.
 const mergeCost = 150e-9
 
+// reduceMsgBuckets are the histogram bounds (bytes) for the
+// cc_reduce_message_bytes metric — decades from 1 KB to 1 GB.
+var reduceMsgBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+// observeReduceMsg records one intermediate-result message's size.
+func observeReduceMsg(ot *obs.Tracer, bytes int64) {
+	ot.Metrics().Histogram("cc_reduce_message_bytes", reduceMsgBuckets...).
+		Observe(float64(bytes))
+}
+
 // partialMsg is the intermediate-result message of the modified shuffle.
 type partialMsg struct {
 	state   State
@@ -235,12 +246,25 @@ func ObjectGetVara(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Resu
 		io.Params.ReadBackoff = io.Mitigate.Backoff
 	}
 	before := cl.Retry
+	ot := r.World().Obs()
+	var sp obs.SpanID
+	if ot != nil {
+		mode := "collective-computing"
+		if io.Block || io.Mode == Independent {
+			mode = "traditional"
+		}
+		sp = ot.BeginRank(r.Rank(), "cc.get", "cc", r.Now(),
+			obs.S("mode", mode), obs.I("root", int64(io.Root)))
+	}
 	var res Result
 	var err error
 	if io.Block || io.Mode == Independent {
 		res, err = runTraditional(r, c, cl, io, op)
 	} else {
 		res, err = runCollectiveComputing(r, c, cl, io, op)
+	}
+	if ot != nil {
+		ot.End(sp, r.Now())
 	}
 	if io.Stats != nil && err == nil {
 		io.Stats.IOTimeouts += cl.Retry.Timeouts - before.Timeouts
@@ -268,7 +292,12 @@ func runTraditional(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Res
 		return Result{}, err
 	}
 	// Computation stage: the whole local subset at once.
+	tm0 := r.Now()
 	r.Compute(float64(len(vals)) * io.SecPerElem)
+	if ot := r.World().Obs(); ot != nil {
+		ot.SpanRank(r.Rank(), "cc.map", "cc", tm0, r.Now(),
+			obs.I("elems", int64(len(vals))))
+	}
 	if io.Stats != nil {
 		io.Stats.MapElements += int64(len(vals))
 		io.Stats.MapSeconds += float64(len(vals)) * io.SecPerElem
@@ -322,6 +351,7 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 	}
 
 	me := c.RankOf(r)
+	ot := r.World().Obs()
 	sz := v.Type.Size()
 	elemBase := v.Offset
 	par := float64(io.MapParallelism)
@@ -348,6 +378,7 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 			for j < len(pieces) && pieces[j].Owner == owner {
 				j++
 			}
+			tg0 := r.Now()
 			st := op.Zero()
 			var elems, mdBytes, subsets int64
 			t0 := r.Now()
@@ -379,6 +410,11 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 			}
 			// Map cost, spread across the node's idle cores.
 			r.Compute(float64(elems) * io.SecPerElem / par)
+			if ot != nil {
+				ot.SpanRank(r.Rank(), "cc.map", "cc", tg0, r.Now(),
+					obs.I("owner", int64(owner)), obs.I("elems", elems),
+					obs.I("iter", int64(iter)))
+			}
 			if io.Stats != nil {
 				io.Stats.MapElements += elems
 				io.Stats.MapSeconds += float64(elems) * io.SecPerElem / par
@@ -407,6 +443,9 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 				out[owner] = adio.Payload{
 					Data:  partialMsg{state: st, records: 1, mdBytes: mdBytes},
 					Bytes: bytes,
+				}
+				if ot != nil {
+					observeReduceMsg(ot, bytes)
 				}
 				if io.Stats != nil {
 					io.Stats.ShuffleBytes += bytes
@@ -539,6 +578,7 @@ func allToOneFinish(r *mpi.Rank, c *mpi.Comm, io IO, op Op,
 	tag := c.ReserveTags(r, 1)
 	rootWorld := c.WorldRank(io.Root)
 	amAggr := pl.AggrIndex(me) >= 0
+	ot := r.World().Obs()
 
 	if me != io.Root {
 		if amAggr {
@@ -547,7 +587,13 @@ func allToOneFinish(r *mpi.Rank, c *mpi.Comm, io IO, op Op,
 			for _, p := range perOwner {
 				bytes += p.records*op.StateBytes() + p.mdBytes
 			}
+			ts0 := r.Now()
 			r.Send(rootWorld, tag, perOwner, bytes)
+			if ot != nil {
+				ot.SpanRank(r.Rank(), "cc.reduce", "cc", ts0, r.Now(),
+					obs.I("bytes", bytes), obs.I("owners", int64(len(perOwner))))
+				observeReduceMsg(ot, bytes)
+			}
 			if io.Stats != nil {
 				io.Stats.ShuffleBytes += bytes
 			}
@@ -591,6 +637,10 @@ func allToOneFinish(r *mpi.Rank, c *mpi.Comm, io IO, op Op,
 	if io.Stats != nil {
 		io.Stats.FinalReduceSeconds += r.Now() - t0
 	}
+	if ot != nil {
+		ot.SpanRank(r.Rank(), "cc.reduce", "cc", t0, r.Now(),
+			obs.I("owners", int64(len(merged))))
+	}
 	val := op.Value(final)
 	c.Bcast(r, io.Root, val, 8)
 	return Result{Value: val, State: final, Root: true}, nil
@@ -606,6 +656,10 @@ func finalReduce(r *mpi.Rank, c *mpi.Comm, io IO, op Op, st State) (Result, erro
 	})
 	if io.Stats != nil {
 		io.Stats.FinalReduceSeconds += r.Now() - t0
+	}
+	if ot := r.World().Obs(); ot != nil {
+		ot.SpanRank(r.Rank(), "cc.reduce", "cc", t0, r.Now(),
+			obs.I("bytes", op.StateBytes()))
 	}
 	isRoot := c.RankOf(r) == io.Root
 	var val float64

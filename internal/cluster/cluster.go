@@ -28,6 +28,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -48,6 +49,10 @@ type Spec struct {
 	// MaxConcurrent caps how many jobs run at once; 0 means unlimited
 	// (bounded only by rank-count fit). 1 serializes the queue.
 	MaxConcurrent int
+	// Obs, when non-nil, installs a structured span tracer + metrics registry
+	// across every layer of the machine (scheduler, cc, adio, pfs, mpi); see
+	// internal/obs. Nil disables span tracing at zero cost on hot paths.
+	Obs *obs.Tracer
 }
 
 // Cluster is one running machine instance plus its job queue. Create with
@@ -59,6 +64,8 @@ type Cluster struct {
 	w     *mpi.World
 	fs    *pfs.FS
 	tl    *metrics.Timeline
+	obs   *obs.Tracer  // from Spec.Obs; nil = span tracing disabled
+	tr    trace.Tracer // fan-out of tl and obs, what workers/clients see
 	world *mpi.Comm
 
 	datasets map[string]*ncfile.Dataset
@@ -81,13 +88,19 @@ func New(spec Spec) *Cluster {
 	w := mpi.NewWorld(env, spec.Ranks, fabric.Params{RanksPerNode: spec.RanksPerNode})
 	c := &Cluster{
 		spec: spec, env: env, w: w, fs: pfs.New(env, spec.FS),
+		obs:      spec.Obs,
 		datasets: make(map[string]*ncfile.Dataset),
 		plans:    make(map[string]*adio.PlanCache),
 	}
 	if spec.TimelineBucket > 0 {
 		c.tl = metrics.NewTimeline(spec.Ranks, spec.TimelineBucket)
-		w.SetTracer(c.tl)
 	}
+	if c.obs != nil {
+		w.SetObs(c.obs)
+		c.fs.SetObs(c.obs)
+		c.obs.SetProcessName(0, "cluster scheduler")
+	}
+	c.installTracers()
 	c.world = w.Comm()
 	c.done = env.NewMailbox("cluster.done")
 	c.assign = make([]*sim.Mailbox, spec.Ranks)
@@ -119,20 +132,36 @@ func (c *Cluster) Timeline() *metrics.Timeline { return c.tl }
 // It replaces any tracer from Spec.TimelineBucket and must precede Run.
 func (c *Cluster) InstallTimeline(bucket float64) *metrics.Timeline {
 	c.tl = metrics.NewTimeline(c.spec.Ranks, bucket)
-	c.w.SetTracer(c.tl)
+	c.installTracers()
 	return c.tl
 }
+
+// installTracers rebuilds the fan-out interval tracer from the currently
+// installed timeline and span tracer and hands it to the MPI world. The
+// conditional appends avoid typed-nil interface values (a nil *Timeline
+// inside a non-nil trace.Tracer would be called, and panic).
+func (c *Cluster) installTracers() {
+	var ts []trace.Tracer
+	if c.tl != nil {
+		ts = append(ts, c.tl)
+	}
+	if c.obs != nil {
+		ts = append(ts, c.obs)
+	}
+	c.tr = trace.Multi(ts...)
+	c.w.SetTracer(c.tr)
+}
+
+// Obs returns the structured span tracer installed via Spec.Obs (nil when
+// span tracing is disabled; a nil tracer's methods all no-op).
+func (c *Cluster) Obs() *obs.Tracer { return c.obs }
 
 // Now returns the current virtual time (after Run: the makespan).
 func (c *Cluster) Now() float64 { return c.env.Now() }
 
 // Client builds a storage client for a rank, wired to the cluster tracer.
 func (c *Cluster) Client(r *mpi.Rank) *pfs.Client {
-	var tr trace.Tracer
-	if c.tl != nil {
-		tr = c.tl
-	}
-	return c.fs.Client(r.Proc(), r.Rank(), tr)
+	return c.fs.Client(r.Proc(), r.Rank(), c.tr)
 }
 
 // RegisterDataset publishes ds under name so jobs can share the handle.
@@ -179,7 +208,43 @@ func (c *Cluster) Run() ([]*JobResult, error) {
 	if err := c.env.Run(); err != nil {
 		return nil, err
 	}
+	c.finishObs()
 	return c.results, nil
+}
+
+// finishObs copies the run's aggregate statistics into the metrics registry
+// at one deterministic point — the end of Run — and computes the whole-run
+// gauges (makespan, rank-pool utilization).
+func (c *Cluster) finishObs() {
+	ot := c.obs
+	if ot == nil {
+		return
+	}
+	m := ot.Metrics()
+	makespan := c.env.Now()
+	m.Gauge("cluster_makespan_seconds").Set(makespan)
+	m.Counter("cluster_jobs_submitted").Add(float64(len(c.results)))
+	var busy float64
+	for _, jr := range c.results {
+		if d := jr.Duration(); d > 0 {
+			busy += d * float64(len(jr.Ranks))
+		}
+	}
+	if makespan > 0 {
+		m.Gauge("cluster_rank_utilization_pct").
+			Set(100 * busy / (makespan * float64(c.spec.Ranks)))
+	}
+	net := c.w.Net()
+	m.Counter("mpi_messages").Add(float64(net.Messages))
+	m.Counter("mpi_inter_messages").Add(float64(net.InterMessages))
+	m.Counter("mpi_bytes_on_wire").Add(float64(net.BytesOnWire))
+	m.Counter("mpi_bytes_intra").Add(float64(net.BytesIntra))
+	m.Counter("mpi_degraded_messages").Add(float64(net.DegradedMessages))
+	m.Counter("pfs_read_bytes").Add(float64(c.fs.BytesRead))
+	m.Counter("pfs_write_bytes").Add(float64(c.fs.BytesWritten))
+	m.Counter("pfs_requests").Add(float64(c.fs.Requests))
+	m.Counter("pfs_timeouts").Add(float64(c.fs.Timeouts))
+	m.Counter("pfs_retries").Add(float64(c.fs.Retries))
 }
 
 // RunSPMD submits a single job spanning every rank, runs the cluster, and

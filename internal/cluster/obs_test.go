@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/climate"
+	"repro/internal/obs"
+)
+
+// TestJobResultSentinels pins the timing-accessor contract: -1 for jobs that
+// never ran, real queue time and zero duration for deadline-dropped jobs.
+func TestJobResultSentinels(t *testing.T) {
+	never := &JobResult{Submit: 2, Start: -1, End: -1}
+	if got := never.QueueWait(); got != -1 {
+		t.Errorf("never-started QueueWait = %v, want -1", got)
+	}
+	if got := never.Duration(); got != -1 {
+		t.Errorf("never-started Duration = %v, want -1", got)
+	}
+	if got := never.Turnaround(); got != -1 {
+		t.Errorf("never-started Turnaround = %v, want -1", got)
+	}
+
+	// Deadline-dropped path, through the real scheduler: queued behind a 2s
+	// job with a 1s deadline, so it expires before admission.
+	c := New(Spec{Ranks: 2, RanksPerNode: 2, MaxConcurrent: 1})
+	c.Submit(&Job{Name: "long", Main: computeJob(2)})
+	dropped := c.Submit(&Job{Name: "dropped", Deadline: 1, Main: computeJob(1)})
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(dropped.Err, ErrDeadlineExpired) {
+		t.Fatalf("dropped.Err = %v", dropped.Err)
+	}
+	if got := dropped.Duration(); got != 0 {
+		t.Errorf("dropped Duration = %v, want 0", got)
+	}
+	if got := dropped.QueueWait(); got <= 0 {
+		t.Errorf("dropped QueueWait = %v, want > 0 (time queued until drop)", got)
+	}
+	if got := dropped.Turnaround(); got != dropped.QueueWait() {
+		t.Errorf("dropped Turnaround = %v, want == QueueWait %v", got, dropped.QueueWait())
+	}
+}
+
+// obsCluster builds a traced cluster with a registered climate dataset.
+func obsCluster(t *testing.T, ranks, maxConc int) (*Cluster, *obs.Tracer) {
+	t.Helper()
+	ot := obs.New()
+	c := New(Spec{Ranks: ranks, RanksPerNode: 2, MaxConcurrent: maxConc, Obs: ot})
+	ds, _, err := climate.NewDataset3D(c.FS(), []int64{16, 32, 32}, 8, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterDataset("climate", ds)
+	return c, ot
+}
+
+// TestClusterTraceEmission runs two CC jobs under a span tracer and checks
+// the recorded hierarchy: scheduler queued/run spans on pid 0, job-side
+// cc/adio/pfs/mpi spans routed to each job's pid, a valid Chrome trace
+// export, and the registry populated with scheduler and I/O metrics.
+func TestClusterTraceEmission(t *testing.T) {
+	c, ot := obsCluster(t, 4, 0)
+	a := c.SubmitCC(ccSumJob("sum0", 2, 0, 8))
+	b := c.SubmitCC(ccSumJob("sum1", 2, 8, 8))
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	if a.TracePID() != 1 || b.TracePID() != 2 {
+		t.Fatalf("trace pids %d/%d, want 1/2", a.TracePID(), b.TracePID())
+	}
+
+	count := map[string]int{}
+	pidOf := map[string]map[int]bool{}
+	ot.EachSpan(func(sv obs.SpanView) {
+		count[sv.Name]++
+		if pidOf[sv.Name] == nil {
+			pidOf[sv.Name] = map[int]bool{}
+		}
+		pidOf[sv.Name][sv.PID] = true
+	})
+	for _, name := range []string{"queued", "run", "cc.get", "cc.map",
+		"cc.reduce", "adio.iter", "adio.read", "pfs.read", "mpi.send",
+		"mpi.recv", "mpi.bcast"} {
+		if count[name] == 0 {
+			t.Errorf("no %q spans recorded", name)
+		}
+	}
+	if !pidOf["run"][0] || len(pidOf["run"]) != 1 {
+		t.Errorf("run spans on pids %v, want only pid 0", pidOf["run"])
+	}
+	if !pidOf["cc.get"][1] || !pidOf["cc.get"][2] {
+		t.Errorf("cc.get spans on pids %v, want both job pids 1 and 2", pidOf["cc.get"])
+	}
+	if count["cc.get"] != 4 {
+		t.Errorf("%d cc.get spans, want 4 (2 jobs x 2 ranks)", count["cc.get"])
+	}
+
+	var buf bytes.Buffer
+	if err := ot.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) < 20 {
+		t.Fatalf("only %d trace events", len(parsed.TraceEvents))
+	}
+
+	dump := ot.Metrics().Dump()
+	for _, want := range []string{
+		"counter cluster_jobs_admitted 2",
+		"counter cluster_jobs_completed 2",
+		"counter cluster_jobs_submitted 2",
+		"gauge cluster_makespan_seconds ",
+		"gauge cluster_rank_utilization_pct ",
+		"histogram cluster_queue_wait_seconds count 2",
+		"histogram cluster_service_seconds count 2",
+		"histogram cluster_turnaround_seconds count 2",
+		"counter pfs_read_bytes ",
+		"counter mpi_messages ",
+		"counter adio_collective_reads ",
+		"counter rank_time_user_seconds ",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+}
+
+// TestTraceDeterminism: the same traced workload exports byte-identical
+// trace JSON and metrics dumps across two runs.
+func TestTraceDeterminism(t *testing.T) {
+	once := func() (string, string) {
+		c, ot := obsCluster(t, 4, 0)
+		c.SubmitCC(ccSumJob("a", 2, 0, 8))
+		c.SubmitCC(ccSumJob("b", 2, 8, 8))
+		c.SubmitCC(ccSumJob("c", 4, 0, 16))
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ot.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), ot.Metrics().Dump()
+	}
+	tr1, m1 := once()
+	tr2, m2 := once()
+	if tr1 != tr2 {
+		t.Error("trace exports differ between identical runs")
+	}
+	if m1 != m2 {
+		t.Error("metrics dumps differ between identical runs")
+	}
+}
+
+// TestCriticalPath: on a serialized queue every job chains off its
+// predecessor's completion, so the critical path is the whole queue.
+func TestCriticalPath(t *testing.T) {
+	c := New(Spec{Ranks: 2, RanksPerNode: 2, MaxConcurrent: 1})
+	var jrs []*JobResult
+	for i := 0; i < 3; i++ {
+		jrs = append(jrs, c.Submit(&Job{Name: "j", Main: computeJob(1)}))
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := CriticalPath(res)
+	if len(chain) != 3 {
+		t.Fatalf("critical path %d jobs, want 3 (serial queue)", len(chain))
+	}
+	for i := range chain {
+		if chain[i] != jrs[i] {
+			t.Fatalf("critical path out of order at %d", i)
+		}
+	}
+
+	// Concurrent disjoint jobs admit at submission: path is a single job.
+	c2 := New(Spec{Ranks: 4, RanksPerNode: 2})
+	c2.Submit(&Job{Name: "a", Ranks: 2, Main: computeJob(1)})
+	c2.Submit(&Job{Name: "b", Ranks: 2, Main: computeJob(2)})
+	res2, err := c2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain := CriticalPath(res2); len(chain) != 1 || chain[0] != res2[1] {
+		t.Fatalf("concurrent critical path = %d jobs, want just the long one", len(chain))
+	}
+
+	if CriticalPath(nil) != nil {
+		t.Error("empty results must give an empty path")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 )
@@ -53,16 +54,48 @@ type JobResult struct {
 	Stats cc.Stats
 
 	session *Session
+	pid     int        // Perfetto process id (submission index + 1)
+	runSpan obs.SpanID // open "run" span while the job executes
 }
 
-// QueueWait is the time the job spent queued before admission.
-func (jr *JobResult) QueueWait() float64 { return jr.Start - jr.Submit }
+// TracePID returns the job's Perfetto process id in trace exports
+// (submission index + 1; pid 0 is the cluster scheduler).
+func (jr *JobResult) TracePID() int { return jr.pid }
 
-// Duration is the job's service time (End - Start).
-func (jr *JobResult) Duration() float64 { return jr.End - jr.Start }
+// Timing accessor sentinels: a job that was never admitted (the cluster
+// errored out, or Run was never called) has Start == -1 and End == -1, and
+// the accessors below return -1 rather than a meaningless difference against
+// the sentinel. A deadline-dropped job is different: the scheduler stamps
+// Start = End = the drop time, so QueueWait reports the real time spent
+// queued before expiry, Duration is 0, and Turnaround is submit-to-drop.
 
-// Turnaround is submission-to-completion latency (End - Submit).
-func (jr *JobResult) Turnaround() float64 { return jr.End - jr.Submit }
+// QueueWait is the time the job spent queued before admission (or before
+// being dropped). Returns -1 if the job was never admitted or dropped.
+func (jr *JobResult) QueueWait() float64 {
+	if jr.Start < 0 {
+		return -1
+	}
+	return jr.Start - jr.Submit
+}
+
+// Duration is the job's service time (End - Start); 0 for deadline-dropped
+// jobs, -1 if the job never started or never finished.
+func (jr *JobResult) Duration() float64 {
+	if jr.Start < 0 || jr.End < 0 {
+		return -1
+	}
+	return jr.End - jr.Start
+}
+
+// Turnaround is submission-to-completion latency (End - Submit), including
+// queue wait; for dropped jobs it is submit-to-drop. Returns -1 if the job
+// never completed.
+func (jr *JobResult) Turnaround() float64 {
+	if jr.End < 0 {
+		return -1
+	}
+	return jr.End - jr.Submit
+}
 
 // JobContext is what a running job sees of the cluster: its own
 // communicator (in a private tag namespace), per-rank storage clients, the
@@ -145,7 +178,8 @@ func (c *Cluster) prepare(j *Job, submit float64) *JobResult {
 		panic(fmt.Sprintf("cluster: job %q needs %d ranks on a %d-rank cluster",
 			cp.Name, cp.Ranks, c.spec.Ranks))
 	}
-	jr := &JobResult{Job: &cp, Submit: submit, Start: -1, End: -1}
+	jr := &JobResult{Job: &cp, Submit: submit, Start: -1, End: -1,
+		pid: len(c.results) + 1}
 	c.results = append(c.results, jr)
 	return jr
 }
@@ -196,6 +230,16 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 				jr.Start, jr.End = now, now
 				jr.Err = ErrDeadlineExpired
 				jr.DeadlineMiss = true
+				if ot := c.obs; ot != nil {
+					ot.SetThreadName(0, jr.pid-1, "job "+j.Name)
+					ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
+						obs.S("job", j.Name))
+					ot.Instant(0, jr.pid-1, "deadline-drop", "sched", now,
+						obs.S("job", j.Name))
+					m := ot.Metrics()
+					m.Counter("cluster_jobs_dropped").Inc()
+					m.Counter("cluster_deadline_misses").Inc()
+				}
 				continue
 			}
 			if j.Ranks > nfree ||
@@ -225,6 +269,24 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 				clients: make([]*pfs.Client, len(members)),
 				errs:    make([]error, len(members)),
 				left:    len(members),
+			}
+			if ot := c.obs; ot != nil {
+				ot.SetProcessName(jr.pid, fmt.Sprintf("job %d: %s", jr.pid-1, j.Name))
+				ot.SetThreadName(0, jr.pid-1, "job "+j.Name)
+				ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
+					obs.S("job", j.Name))
+				jr.runSpan = ot.Begin(0, jr.pid-1, "run", "sched", now,
+					obs.S("job", j.Name), obs.I("ranks", int64(len(members))),
+					obs.I("first_rank", int64(members[0])))
+				for _, wr := range members {
+					ot.BindRank(wr, jr.pid)
+					ot.SetThreadName(jr.pid, wr, fmt.Sprintf("rank %d", wr))
+				}
+				ot.Counter("cluster_queue_depth", now, float64(len(c.pending)))
+				ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-nfree))
+				m := ot.Metrics()
+				m.Counter("cluster_jobs_admitted").Inc()
+				m.Histogram("cluster_queue_wait_seconds").Observe(now - jr.Submit)
 			}
 			for _, wr := range members {
 				c.assign[wr].Send(ctx, 0, now)
@@ -261,6 +323,26 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 		}
 		nfree += len(jr.Ranks)
 		running--
+		if ot := c.obs; ot != nil {
+			ot.End(jr.runSpan, now)
+			if jr.Err != nil {
+				ot.AddAttr(jr.runSpan, obs.S("err", jr.Err.Error()))
+			}
+			if jr.DeadlineMiss {
+				ot.AddAttr(jr.runSpan, obs.I("deadline_miss", 1))
+			}
+			for _, wr := range jr.Ranks {
+				ot.UnbindRank(wr)
+			}
+			ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-nfree))
+			m := ot.Metrics()
+			m.Counter("cluster_jobs_completed").Inc()
+			m.Histogram("cluster_service_seconds").Observe(jr.End - jr.Start)
+			m.Histogram("cluster_turnaround_seconds").Observe(jr.End - jr.Submit)
+			if jr.DeadlineMiss {
+				m.Counter("cluster_deadline_misses").Inc()
+			}
+		}
 	}
 
 	for _, mb := range c.assign {
@@ -276,4 +358,50 @@ func firstErr(errs []error) error {
 		}
 	}
 	return nil
+}
+
+// CriticalPath reconstructs the chain of jobs that determined the makespan
+// of a completed run: starting from the latest-finishing job that actually
+// ran, it walks backwards through predecessors whose completion coincides
+// with the current job's admission (in the discrete-event scheduler a job
+// admitted the instant another completed was waiting on its ranks or on the
+// concurrency cap), stopping at a job admitted at its own submission time.
+// The returned slice is in execution order. Results from dropped or
+// never-started jobs are skipped.
+func CriticalPath(results []*JobResult) []*JobResult {
+	const eps = 1e-9
+	ran := func(jr *JobResult) bool {
+		return jr.Start >= 0 && jr.End >= 0 && jr.End > jr.Start
+	}
+	var cur *JobResult
+	for _, jr := range results {
+		if ran(jr) && (cur == nil || jr.End > cur.End) {
+			cur = jr
+		}
+	}
+	if cur == nil {
+		return nil
+	}
+	chain := []*JobResult{cur}
+	for cur.Start > cur.Submit+eps {
+		var pred *JobResult
+		for _, jr := range results {
+			if jr == cur || !ran(jr) {
+				continue
+			}
+			if jr.End <= cur.Start+eps && jr.End >= cur.Start-eps &&
+				(pred == nil || jr.Start < pred.Start) {
+				pred = jr
+			}
+		}
+		if pred == nil {
+			break
+		}
+		chain = append(chain, pred)
+		cur = pred
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
 }

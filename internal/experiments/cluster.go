@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 )
 
@@ -16,6 +17,10 @@ type Config struct {
 	Scale float64
 	// Quick shrinks process counts as well, for unit tests and smoke runs.
 	Quick bool
+	// Obs, when non-nil, is installed on the experiment's measured cluster
+	// (the concurrent run for jobs, the single machine for the figures), so
+	// `ccexp -trace` can export spans and metrics. Nil disables tracing.
+	Obs *obs.Tracer
 }
 
 // Defaults fills unset fields.
@@ -31,13 +36,14 @@ func hopperFS() pfs.Params { return pfs.Params{} }
 
 // newCluster builds one simulated Hopper-like machine of nranks ranks at
 // ranksPerNode, with an optional timeline tracer (bucket seconds > 0 enables
-// it). Experiments create a fresh machine per measured run so state never
-// leaks between runs.
-func newCluster(nranks, ranksPerNode int, bucket float64) *cluster.Cluster {
+// it) and an optional span tracer. Experiments create a fresh machine per
+// measured run so state never leaks between runs.
+func newCluster(nranks, ranksPerNode int, bucket float64, ot *obs.Tracer) *cluster.Cluster {
 	return cluster.New(cluster.Spec{
 		Ranks:          nranks,
 		RanksPerNode:   ranksPerNode,
 		FS:             hopperFS(),
 		TimelineBucket: bucket,
+		Obs:            ot,
 	})
 }

@@ -161,6 +161,43 @@ func TestJobsSchedulingBeatsSerial(t *testing.T) {
 	}
 }
 
+func TestJobsSchedulerBench(t *testing.T) {
+	tb := mustRun(t, "jobs")
+	if u := tb.Bench["rank_pool_utilization_pct"]; u <= 0 || u > 100 {
+		t.Fatalf("rank-pool utilization %g, want in (0, 100]", u)
+	}
+	if tb.Bench["mean_queue_wait_vs"] < 0 {
+		t.Fatalf("mean queue wait %g", tb.Bench["mean_queue_wait_vs"])
+	}
+	if n := tb.Bench["critical_path_jobs"]; n < 1 {
+		t.Fatalf("critical path %g jobs, want >= 1", n)
+	}
+	if tb.Bench["critical_path_vs"] <= 0 {
+		t.Fatalf("critical path length %g", tb.Bench["critical_path_vs"])
+	}
+}
+
+func TestProfileJobs(t *testing.T) {
+	tb := mustRun(t, "profile-jobs")
+	// Every job must show positive service time and a positive phase total.
+	for i := range tb.Rows {
+		if cell(t, tb, i, 2) <= 0 {
+			t.Fatalf("row %d service %v", i, tb.Rows[i][2])
+		}
+		total := cell(t, tb, i, 3) + cell(t, tb, i, 4) + cell(t, tb, i, 5) + cell(t, tb, i, 6)
+		if total <= 0 {
+			t.Fatalf("row %d: no phase time recorded: %v", i, tb.Rows[i])
+		}
+	}
+	joined := strings.Join(tb.Notes, " ")
+	if !strings.Contains(joined, "critical path") {
+		t.Fatalf("missing critical-path note: %v", tb.Notes)
+	}
+	if tb.Bench["critical_path_jobs"] < 1 {
+		t.Fatalf("bench: %+v", tb.Bench)
+	}
+}
+
 func TestAllRegistry(t *testing.T) {
 	ids := map[string]bool{}
 	for _, r := range All() {
@@ -169,7 +206,7 @@ func TestAllRegistry(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs"} {
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs", "profile-jobs"} {
 		if !ids[want] {
 			t.Fatalf("missing %s", want)
 		}

@@ -36,7 +36,7 @@ func defaultFaultScenario() faultScenario {
 // accumulated mitigation stats.
 func (sc faultScenario) run(t *testing.T, plan *fault.Plan, mit cc.Mitigation) (float64, float64, cc.Stats) {
 	t.Helper()
-	cl := newCluster(sc.nranks, sc.rpn, 0)
+	cl := newCluster(sc.nranks, sc.rpn, 0, nil)
 	if plan != nil {
 		plan.Apply(cl.World(), cl.FS())
 	}

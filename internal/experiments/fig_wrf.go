@@ -39,7 +39,7 @@ func Fig13(cfg Config) (*Table, error) {
 	}
 
 	runOne := func(nt int64, block bool, spe float64) (float64, cc.Result, error) {
-		cl := newCluster(nranks, rpn, 0)
+		cl := newCluster(nranks, rpn, 0, nil)
 		storm := wrf.DefaultStorm(nt, ny, nx)
 		d, err := wrf.NewDataset(cl.FS(), storm, 40, 4<<20)
 		if err != nil {
@@ -132,6 +132,7 @@ func All() []Runner {
 		{"fig13", "WRF hurricane analysis (Figure 13)", Fig13},
 		{"faults", "Degradation/recovery under fault plans (robustness ablation)", FigFaults},
 		{"jobs", "Concurrent mixed analyses on one cluster (scheduling ablation)", Jobs},
+		{"profile-jobs", "Per-job phase breakdown + critical path (observability)", ProfileJobs},
 	}
 }
 

@@ -74,7 +74,7 @@ func (s fig1Setup) byteRuns(ds *ncfile.Dataset, id, rank int) []layout.Run {
 // collective I/O (paper Figure 1) and its ~20% shuffle-overhead headline.
 func Fig1(cfg Config) (*Table, error) {
 	s := newFig1Setup(cfg)
-	cl := newCluster(s.nranks, s.rpn, 0)
+	cl := newCluster(s.nranks, s.rpn, 0, cfg.Obs)
 	ds, id, err := climate.NewDataset4D(cl.FS(), s.dims, s.stripeCount, s.stripeSize)
 	if err != nil {
 		return nil, err
@@ -95,14 +95,15 @@ func Fig1(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "fig1",
 		Title:   "I/O Profiling of Two-Phase Collective I/O (read vs shuffle per iteration)",
-		Headers: []string{"iteration", "read (s)", "shuffle (s)"},
+		Headers: []string{"iteration", "read (s)", "shuffle (s)", "mean MB"},
 	}
 	series := iters.Series()
 	stride := len(series)/40 + 1
 	var reads, shuffles []float64
 	for i := 0; i < len(series); i += stride {
 		sm := series[i]
-		t.AddRow(fmt.Sprintf("%d", sm.Iter), fmt.Sprintf("%.4f", sm.Read), fmt.Sprintf("%.4f", sm.Shuffle))
+		t.AddRow(fmt.Sprintf("%d", sm.Iter), fmt.Sprintf("%.4f", sm.Read), fmt.Sprintf("%.4f", sm.Shuffle),
+			fmt.Sprintf("%.2f", sm.MeanBytes/(1<<20)))
 		reads = append(reads, sm.Read)
 		shuffles = append(shuffles, sm.Shuffle)
 	}
@@ -150,7 +151,7 @@ func cpuProfileTable(id, title string, tl *metrics.Timeline, until float64) *Tab
 // collective I/O (paper Figure 2).
 func Fig2(cfg Config) (*Table, error) {
 	s := newFig1Setup(cfg)
-	cl := newCluster(s.nranks, s.rpn, 0)
+	cl := newCluster(s.nranks, s.rpn, 0, cfg.Obs)
 	ds, id, err := climate.NewDataset4D(cl.FS(), s.dims, s.stripeCount, s.stripeSize)
 	if err != nil {
 		return nil, err
@@ -180,7 +181,7 @@ func Fig2(cfg Config) (*Table, error) {
 // wait under OST contention.
 func Fig3(cfg Config) (*Table, error) {
 	s := newFig1Setup(cfg)
-	cl := newCluster(s.nranks, s.rpn, 0)
+	cl := newCluster(s.nranks, s.rpn, 0, cfg.Obs)
 	ds, id, err := climate.NewDataset4D(cl.FS(), s.dims, s.stripeCount, s.stripeSize)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/climate"
 	"repro/internal/cluster"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // jobsSetup is the mixed-analysis serving workload: njobs analyses (cycling
@@ -76,11 +77,12 @@ func (s jobsSetup) job(i, ranks int, deadline float64) cluster.CCJob {
 	}
 }
 
-// machine builds a cluster with the workload's dataset registered.
-func (s jobsSetup) machine(ranks, maxConc int) (*cluster.Cluster, error) {
+// machine builds a cluster with the workload's dataset registered; ot (may
+// be nil) installs span tracing on it.
+func (s jobsSetup) machine(ranks, maxConc int, ot *obs.Tracer) (*cluster.Cluster, error) {
 	cl := cluster.New(cluster.Spec{
 		Ranks: ranks, RanksPerNode: s.rpn,
-		FS: hopperFS(), MaxConcurrent: maxConc,
+		FS: hopperFS(), MaxConcurrent: maxConc, Obs: ot,
 	})
 	ds, varid, err := climate.NewDataset3D(cl.FS(), s.dims, s.stripes, s.stripeSize)
 	if err != nil {
@@ -107,7 +109,7 @@ func Jobs(cfg Config) (*Table, error) {
 	// Solo baselines: one fresh machine per job, sized to the job.
 	solos := make([]*cluster.CCResult, s.njobs)
 	for i := range solos {
-		cl, err := s.machine(s.jobRanks, 0)
+		cl, err := s.machine(s.jobRanks, 0, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -123,8 +125,8 @@ func Jobs(cfg Config) (*Table, error) {
 
 	// Queued runs: same machine spec, same submissions; only the concurrency
 	// cap differs.
-	queued := func(maxConc int) ([]*cluster.CCResult, float64, int, error) {
-		cl, err := s.machine(s.nranks, maxConc)
+	queued := func(maxConc int, ot *obs.Tracer) ([]*cluster.CCResult, float64, int, error) {
+		cl, err := s.machine(s.nranks, maxConc, ot)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -147,11 +149,13 @@ func Jobs(cfg Config) (*Table, error) {
 		}
 		return crs, cl.Now(), misses, nil
 	}
-	serial, serialSpan, serialMisses, err := queued(1)
+	serial, serialSpan, serialMisses, err := queued(1, nil)
 	if err != nil {
 		return nil, err
 	}
-	conc, concSpan, concMisses, err := queued(0)
+	// Only the concurrent run is traced: it is the run whose schedule the
+	// trace and profile-jobs breakdown are meant to explain.
+	conc, concSpan, concMisses, err := queued(0, cfg.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +189,22 @@ func Jobs(cfg Config) (*Table, error) {
 
 	speedup := serialSpan / concSpan
 	throughput := float64(s.njobs) / concSpan
+
+	// Scheduler health of the concurrent run: mean queue wait, rank-pool
+	// utilization, and the critical path through the queue.
+	var meanWait, busy, cpLen float64
+	jrs := make([]*cluster.JobResult, len(conc))
+	for i, cr := range conc {
+		meanWait += cr.QueueWait()
+		busy += cr.Duration() * float64(len(cr.Ranks))
+		jrs[i] = cr.JobResult
+	}
+	meanWait /= float64(len(conc))
+	utilization := 100 * busy / (concSpan * float64(s.nranks))
+	critPath := cluster.CriticalPath(jrs)
+	for _, jr := range critPath {
+		cpLen += jr.Duration()
+	}
 	t.Notef("%d jobs of %d ranks on a %d-rank cluster (%d at a time)",
 		s.njobs, s.jobRanks, s.nranks, s.nranks/s.jobRanks)
 	t.Notef("serial makespan %.4fs, concurrent %.4fs: %.2fx speedup, %.2f jobs/vs",
@@ -192,11 +212,17 @@ func Jobs(cfg Config) (*Table, error) {
 	t.Notef("deadline misses: %d serial, %d concurrent (deadline %.0fs, never binding)",
 		serialMisses, concMisses, deadline)
 	t.Notef("every job's value and state bit-identical to its solo run")
+	t.Notef("concurrent run: mean queue wait %.4fs, rank-pool utilization %.1f%%, critical path %d jobs / %.4fs of service",
+		meanWait, utilization, len(critPath), cpLen)
 	t.Bench = map[string]float64{
 		"virtual_makespan_serial":     serialSpan,
 		"virtual_makespan_concurrent": concSpan,
 		"speedup":                     speedup,
 		"throughput_jobs_per_vs":      throughput,
+		"mean_queue_wait_vs":          meanWait,
+		"rank_pool_utilization_pct":   utilization,
+		"critical_path_jobs":          float64(len(critPath)),
+		"critical_path_vs":            cpLen,
 	}
 	return t, nil
 }

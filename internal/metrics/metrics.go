@@ -41,9 +41,17 @@ func NewTimeline(n int, bucket float64) *Timeline {
 	return tl
 }
 
-// Record implements trace.Tracer.
+// Record implements trace.Tracer. Intervals starting before t=0 are clamped
+// to the profiled window: without the clamp a negative t0 truncates toward
+// zero in the bucket computation and the pre-zero portion lands in bucket 0.
 func (tl *Timeline) Record(rank int, kind trace.Kind, t0, t1 float64) {
-	if t1 <= t0 || rank < 0 || rank >= tl.nranks {
+	if rank < 0 || rank >= tl.nranks {
+		return
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	if t1 <= t0 {
 		return
 	}
 	tl.totals[rank][kind] += t1 - t0
@@ -129,12 +137,15 @@ func (tl *Timeline) CPUProfile(until float64) []CPUSample {
 
 // IterSample is one aggregated two-phase iteration: mean read and shuffle
 // time across the aggregators that executed it — the two series of the
-// paper's Figure 1.
+// paper's Figure 1. Bytes come in both flavors so the sample is internally
+// consistent: MeanBytes matches the per-aggregator means of Read/Shuffle,
+// TotalBytes is the raw sum across aggregators.
 type IterSample struct {
-	Iter    int
-	Read    float64
-	Shuffle float64
-	Bytes   int64
+	Iter       int
+	Read       float64
+	Shuffle    float64
+	MeanBytes  float64 // mean bytes per aggregator this iteration
+	TotalBytes int64   // total bytes across aggregators this iteration
 }
 
 // IterStats implements adio.Observer, aggregating per-iteration timings
@@ -183,10 +194,11 @@ func (is *IterStats) Series() []IterSample {
 	out := make([]IterSample, 0, len(is.byIter))
 	for k, acc := range is.byIter {
 		out = append(out, IterSample{
-			Iter:    k,
-			Read:    acc.read / float64(acc.n),
-			Shuffle: acc.shuffle / float64(acc.n),
-			Bytes:   acc.bytes,
+			Iter:       k,
+			Read:       acc.read / float64(acc.n),
+			Shuffle:    acc.shuffle / float64(acc.n),
+			MeanBytes:  float64(acc.bytes) / float64(acc.n),
+			TotalBytes: acc.bytes,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Iter < out[j].Iter })

@@ -93,6 +93,37 @@ func TestIterStatsSeries(t *testing.T) {
 	if is.Iterations != 3 || is.Bytes != 350 {
 		t.Errorf("totals: %d iters %d bytes", is.Iterations, is.Bytes)
 	}
+	// Per-sample bytes: mean matches the per-aggregator means of
+	// Read/Shuffle, total is the raw sum.
+	if s[0].MeanBytes != 150 || s[0].TotalBytes != 300 {
+		t.Errorf("iter0 bytes mean/total = %g/%d, want 150/300", s[0].MeanBytes, s[0].TotalBytes)
+	}
+	if s[1].MeanBytes != 50 || s[1].TotalBytes != 50 {
+		t.Errorf("iter2 bytes mean/total = %g/%d, want 50/50", s[1].MeanBytes, s[1].TotalBytes)
+	}
+}
+
+func TestRecordClampsNegativeStart(t *testing.T) {
+	tl := NewTimeline(1, 1.0)
+	// An interval straddling t=0 must be clamped: only [0, 0.5) counts, and
+	// none of it may leak into bucket 0 from the negative side.
+	tl.Record(0, trace.Compute, -0.5, 0.5)
+	if got := tl.Total(trace.Compute); got != 0.5 {
+		t.Fatalf("total %g, want 0.5 (clamped)", got)
+	}
+	prof := tl.CPUProfile(1)
+	if len(prof) != 1 {
+		t.Fatalf("%d buckets", len(prof))
+	}
+	if got := prof[0].User; math.Abs(got-50) > 1e-9 {
+		t.Fatalf("bucket0 user%% = %g, want 50", got)
+	}
+	// Entirely-negative intervals are dropped.
+	tl2 := NewTimeline(1, 1.0)
+	tl2.Record(0, trace.Compute, -2, -1)
+	if tl2.Total(trace.Compute) != 0 {
+		t.Fatal("pre-zero interval recorded")
+	}
 }
 
 func TestShuffleOverhead(t *testing.T) {

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Comm is a communicator: an ordered subset of world ranks with its own rank
@@ -174,6 +176,25 @@ func (c *Comm) mustRank(r *Rank) int {
 	return me
 }
 
+// beginColl opens a collective span on r's track when span tracing is
+// enabled; the attributes are built only past the nil check, so the disabled
+// path allocates nothing. Nested point-to-point spans (mpi.send/mpi.recv)
+// appear inside it by time containment.
+func (c *Comm) beginColl(r *Rank, name string, bytes int64) obs.SpanID {
+	ot := c.w.obs
+	if ot == nil {
+		return 0
+	}
+	return ot.BeginRank(r.rank, name, "mpi", r.Now(),
+		obs.I("comm_size", int64(c.Size())), obs.I("bytes", bytes))
+}
+
+func (c *Comm) endColl(r *Rank, id obs.SpanID) {
+	if ot := c.w.obs; ot != nil {
+		ot.End(id, r.Now())
+	}
+}
+
 // Barrier blocks until every member has entered it (dissemination barrier,
 // ceil(log2 n) rounds).
 func (c *Comm) Barrier(r *Rank) {
@@ -183,6 +204,7 @@ func (c *Comm) Barrier(r *Rank) {
 	if n == 1 {
 		return
 	}
+	sp := c.beginColl(r, "mpi.barrier", 0)
 	for k := 1; k < n; k <<= 1 {
 		dst := (me + k) % n
 		src := (me - k + n) % n
@@ -190,6 +212,7 @@ func (c *Comm) Barrier(r *Rank) {
 		c.recv(r, src, tag)
 		r.Wait(req)
 	}
+	c.endColl(r, sp)
 }
 
 // Bcast distributes payload (size bytes) from root to all members via a
@@ -197,6 +220,8 @@ func (c *Comm) Barrier(r *Rank) {
 func (c *Comm) Bcast(r *Rank, root int, payload interface{}, bytes int64) interface{} {
 	me := c.mustRank(r)
 	tag := c.nextTag(me)
+	sp := c.beginColl(r, "mpi.bcast", bytes)
+	defer c.endColl(r, sp)
 	n := c.Size()
 	rel := (me - root + n) % n
 	mask := 1
@@ -232,6 +257,8 @@ type ReduceFn func(a, b interface{}) interface{}
 func (c *Comm) Reduce(r *Rank, root int, data interface{}, bytes int64, op ReduceFn) interface{} {
 	me := c.mustRank(r)
 	tag := c.nextTag(me)
+	sp := c.beginColl(r, "mpi.reduce", bytes)
+	defer c.endColl(r, sp)
 	n := c.Size()
 	rel := (me - root + n) % n
 	acc := data
@@ -272,6 +299,8 @@ func (c *Comm) Gather(r *Rank, root int, payload interface{}, bytes int64) []int
 func (c *Comm) Gatherv(r *Rank, root int, payload interface{}, bytes []int64) []interface{} {
 	me := c.mustRank(r)
 	tag := c.nextTag(me)
+	sp := c.beginColl(r, "mpi.gatherv", bytes[me])
+	defer c.endColl(r, sp)
 	if me != root {
 		c.send(r, root, tag, payload, bytes[me])
 		return nil
@@ -325,6 +354,12 @@ func (c *Comm) Alltoallv(r *Rank, parts []interface{}, bytes []int64) []interfac
 	if len(parts) != n || len(bytes) != n {
 		panic(fmt.Sprintf("mpi: Alltoallv with %d parts for comm of %d", len(parts), n))
 	}
+	var total int64
+	for _, b := range bytes {
+		total += b
+	}
+	sp := c.beginColl(r, "mpi.alltoallv", total)
+	defer c.endColl(r, sp)
 	out := make([]interface{}, n)
 	out[me] = parts[me]
 	for k := 1; k < n; k++ {
@@ -343,6 +378,8 @@ func (c *Comm) Alltoallv(r *Rank, parts []interface{}, bytes []int64) []interfac
 func (c *Comm) Scatterv(r *Rank, root int, parts []interface{}, bytes []int64) interface{} {
 	me := c.mustRank(r)
 	tag := c.nextTag(me)
+	sp := c.beginColl(r, "mpi.scatterv", 0)
+	defer c.endColl(r, sp)
 	if me != root {
 		v, _ := c.recv(r, root, tag)
 		return v

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -33,6 +34,7 @@ type World struct {
 	net      *fabric.Network
 	ranks    []*Rank
 	tracer   trace.Tracer
+	obs      *obs.Tracer // nil = span tracing disabled (zero-cost fast path)
 	nsSeq    int         // tag-namespace allocator (0 = default namespace)
 	comms    map[int]int // per-namespace communicator id allocator
 	dilation []func(now, d float64) float64
@@ -61,6 +63,14 @@ func (w *World) SetTracer(tr trace.Tracer) {
 		w.tracer = tr
 	}
 }
+
+// SetObs installs a structured span tracer. Nil (the default) disables span
+// tracing; the hot paths then skip all span work without allocating.
+func (w *World) SetObs(t *obs.Tracer) { w.obs = t }
+
+// Obs returns the installed span tracer (nil when disabled). Layers built on
+// mpi (adio, cc) reach the tracer through here.
+func (w *World) Obs() *obs.Tracer { return w.obs }
 
 // Env returns the simulation environment.
 func (w *World) Env() *sim.Env { return w.env }
@@ -191,11 +201,17 @@ func (r *Rank) Isend(dst, tag int, payload interface{}, bytes int64) *Request {
 		panic(fmt.Sprintf("mpi: rank %d Isend to invalid rank %d", r.rank, dst))
 	}
 	t0 := r.Now()
+	degBefore := r.w.net.DegradedMessages
 	senderFree, ready := r.w.net.Transfer(r.rank, dst, bytes, t0)
 	// Injection overhead occupies the sender's CPU immediately.
 	ov := r.w.net.Params().SendOverhead
 	r.proc.Sleep(ov)
 	r.w.tracer.Record(r.rank, trace.Sys, t0, r.Now())
+	if ot := r.w.obs; ot != nil {
+		ot.SpanRank(r.rank, "mpi.send", "mpi", t0, r.Now(),
+			obs.I("dst", int64(dst)), obs.I("bytes", bytes),
+			obs.I("degraded", r.w.net.DegradedMessages-degBefore))
+	}
 	e := &envelope{src: r.rank, tag: tag, payload: payload, bytes: bytes, ready: ready}
 	r.w.ranks[dst].deliver(e)
 	return &Request{kind: sendReq, owner: r, freeAt: senderFree, env: e}
@@ -265,6 +281,10 @@ func (r *Rank) Wait(req *Request) (interface{}, int64) {
 		r.proc.SleepUntil(req.env.ready)
 		if r.Now() > t0 {
 			r.w.tracer.Record(r.rank, trace.WaitComm, t0, r.Now())
+			if ot := r.w.obs; ot != nil {
+				ot.SpanRank(r.rank, "mpi.recv", "mpi", t0, r.Now(),
+					obs.I("src", int64(req.env.src)), obs.I("bytes", req.env.bytes))
+			}
 		}
 		return req.env.payload, req.env.bytes
 	}

@@ -1,0 +1,268 @@
+// Package obs is the structured observability layer of the runtime: a
+// virtual-clock span tracer plus a typed metrics registry that every layer
+// (cluster, cc, adio, pfs, mpi) emits into. Spans nest scheduler → job → cc
+// phase → adio iteration → pfs request / mpi message and carry string
+// attributes; the whole store exports deterministically to Chrome
+// trace-event JSON (loadable in Perfetto) and to a stable text metrics dump.
+//
+// Everything is driven by the deterministic simulation clock, so the same
+// program produces byte-identical exports on every run.
+//
+// A nil *Tracer is a valid, disabled tracer: every method no-ops. Hot paths
+// must still guard attribute-carrying calls with `if tr != nil` — building
+// the variadic attribute slice allocates even when the receiver is nil.
+// Simulation runs ranks one goroutine at a time, so no locking is needed.
+package obs
+
+import (
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Attr is one span attribute. Values are pre-rendered strings so a span's
+// attribute order (and therefore its JSON) is deterministic.
+type Attr struct {
+	Key, Val string
+}
+
+// S builds a string attribute.
+func S(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// I builds an integer attribute.
+func I(key string, v int64) Attr { return Attr{Key: key, Val: strconv.FormatInt(v, 10)} }
+
+// F builds a float attribute with full-precision deterministic formatting.
+func F(key string, v float64) Attr {
+	return Attr{Key: key, Val: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// SpanID identifies an open span returned by Begin/BeginRank. The zero
+// SpanID is invalid; End(0, t) is a no-op, so disabled-path code can carry a
+// zero id without branching.
+type SpanID int
+
+type span struct {
+	name, cat  string
+	pid, tid   int
+	start, end float64 // end < start marks a still-open span
+	attrs      []Attr
+}
+
+// SpanView is a read-only view of one recorded span, for analysis passes
+// (e.g. the profile-jobs per-phase breakdown).
+type SpanView struct {
+	Name, Cat  string
+	PID, TID   int
+	Start, End float64
+	Attrs      []Attr
+}
+
+type counterSample struct {
+	name    string
+	ts, val float64
+}
+
+type threadKey struct{ pid, tid int }
+
+// Tracer is the span store. Create with New; share one instance across the
+// whole run (the cluster binds world ranks to job pids as jobs are admitted,
+// so rank-routed spans land in the right Perfetto process).
+type Tracer struct {
+	reg     *Registry
+	spans   []span
+	procs   map[int]string
+	threads map[threadKey]string
+	samples []counterSample
+	curPID  []int // world rank -> bound pid (0 = cluster/unbound)
+	kindCtr [trace.NumKinds]*Counter
+}
+
+// New returns an empty, enabled tracer with a fresh metrics registry.
+func New() *Tracer {
+	t := &Tracer{
+		reg:     NewRegistry(),
+		procs:   make(map[int]string),
+		threads: make(map[threadKey]string),
+	}
+	for k := 0; k < trace.NumKinds; k++ {
+		t.kindCtr[k] = t.reg.Counter("rank_time_" + kindSuffix(trace.Kind(k)) + "_seconds")
+	}
+	return t
+}
+
+func kindSuffix(k trace.Kind) string {
+	switch k {
+	case trace.Compute:
+		return "user"
+	case trace.Sys:
+		return "sys"
+	case trace.WaitIO:
+		return "wait_io"
+	default:
+		return "wait_comm"
+	}
+}
+
+// Enabled reports whether the tracer records anything (false on nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Metrics returns the tracer's registry (nil on a nil tracer; the registry's
+// methods are themselves nil-safe).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// SetProcessName names a Perfetto process (one per job, pid 0 = cluster).
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.procs[pid] = name
+}
+
+// SetThreadName names a Perfetto thread (a world rank within a job pid).
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.threads[threadKey{pid, tid}] = name
+}
+
+// BindRank routes rank-addressed spans to pid until UnbindRank: the cluster
+// scheduler binds a world rank to a job's pid at admission.
+func (t *Tracer) BindRank(rank, pid int) {
+	if t == nil || rank < 0 {
+		return
+	}
+	t.ensureRank(rank)
+	t.curPID[rank] = pid
+}
+
+// UnbindRank returns rank-addressed spans to pid 0.
+func (t *Tracer) UnbindRank(rank int) {
+	if t == nil || rank < 0 || rank >= len(t.curPID) {
+		return
+	}
+	t.curPID[rank] = 0
+}
+
+func (t *Tracer) ensureRank(rank int) {
+	for len(t.curPID) <= rank {
+		t.curPID = append(t.curPID, 0)
+	}
+}
+
+func (t *Tracer) rankPID(rank int) int {
+	if rank < 0 || rank >= len(t.curPID) {
+		return 0
+	}
+	return t.curPID[rank]
+}
+
+// Begin opens a span on an explicit (pid, tid) track and returns its id.
+func (t *Tracer) Begin(pid, tid int, name, cat string, start float64, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
+		start: start, end: start - 1, attrs: attrs})
+	return SpanID(len(t.spans))
+}
+
+// End closes an open span. A zero id is ignored.
+func (t *Tracer) End(id SpanID, end float64) {
+	if t == nil || id <= 0 {
+		return
+	}
+	t.spans[id-1].end = end
+}
+
+// AddAttr appends attributes to an open or closed span.
+func (t *Tracer) AddAttr(id SpanID, attrs ...Attr) {
+	if t == nil || id <= 0 {
+		return
+	}
+	sp := &t.spans[id-1]
+	sp.attrs = append(sp.attrs, attrs...)
+}
+
+// Span records a complete span on an explicit (pid, tid) track.
+func (t *Tracer) Span(pid, tid int, name, cat string, start, end float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
+		start: start, end: end, attrs: attrs})
+}
+
+// BeginRank opens a span on rank's current (bound pid, tid = rank) track.
+func (t *Tracer) BeginRank(rank int, name, cat string, start float64, attrs ...Attr) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.Begin(t.rankPID(rank), rank, name, cat, start, attrs...)
+}
+
+// SpanRank records a complete span on rank's current track.
+func (t *Tracer) SpanRank(rank int, name, cat string, start, end float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.Span(t.rankPID(rank), rank, name, cat, start, end, attrs...)
+}
+
+// Instant records a zero-duration event (rendered as an arrow in Perfetto).
+func (t *Tracer) Instant(pid, tid int, name, cat string, ts float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
+		start: ts, end: ts, attrs: attrs})
+}
+
+// Counter appends one sample of a Perfetto counter track (queue depth,
+// busy ranks) on pid 0.
+func (t *Tracer) Counter(name string, ts, val float64) {
+	if t == nil {
+		return
+	}
+	t.samples = append(t.samples, counterSample{name: name, ts: ts, val: val})
+}
+
+// Record implements trace.Tracer: classified rank-time intervals accumulate
+// into the rank_time_*_seconds registry counters, so the obs tracer can be
+// installed alongside (or instead of) a metrics.Timeline.
+func (t *Tracer) Record(rank int, kind trace.Kind, t0, t1 float64) {
+	if t == nil || t1 <= t0 {
+		return
+	}
+	t.kindCtr[kind].Add(t1 - t0)
+}
+
+// NumSpans returns how many spans have been recorded.
+func (t *Tracer) NumSpans() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// EachSpan calls fn for every recorded span in creation order.
+func (t *Tracer) EachSpan(fn func(SpanView)) {
+	if t == nil {
+		return
+	}
+	for i := range t.spans {
+		sp := &t.spans[i]
+		end := sp.end
+		if end < sp.start {
+			end = sp.start // never-closed span: render as zero-duration
+		}
+		fn(SpanView{Name: sp.name, Cat: sp.cat, PID: sp.pid, TID: sp.tid,
+			Start: sp.start, End: end, Attrs: sp.attrs})
+	}
+}

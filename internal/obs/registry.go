@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Registry is a typed metrics store: counters, gauges, and histograms keyed
+// by name. Get-or-create accessors return nil-safe handles; Dump renders a
+// stable, sorted text report. A nil *Registry no-ops everywhere.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically growing sum.
+type Counter struct{ v float64 }
+
+// Add accumulates d (no-op on nil).
+func (c *Counter) Add(d float64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current sum (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the value (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// DefBuckets are the default histogram bucket upper bounds, spanning
+// microseconds to kiloseconds of virtual time (and small byte counts).
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1000}
+
+// Histogram accumulates observations into cumulative-style buckets.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []int64   // len(bounds)+1
+	n      int64
+	sum    float64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean observation (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given bucket bounds (DefBuckets when none are supplied). Bounds are fixed
+// at creation; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		if len(bounds) == 0 {
+			bounds = DefBuckets
+		}
+		h = &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Dump renders every metric as stable sorted text: counters, then gauges,
+// then histograms, each section sorted by name. Deterministic byte-for-byte
+// given the same run.
+func (r *Registry) Dump() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("# obs metrics dump (deterministic)\n")
+	for _, name := range sortedKeys(r.counters) {
+		fmt.Fprintf(&b, "counter %s %s\n", name, fnum(r.counters[name].v))
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		fmt.Fprintf(&b, "gauge %s %s\n", name, fnum(r.gauges[name].v))
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		fmt.Fprintf(&b, "histogram %s count %d sum %s mean %s buckets", name, h.n, fnum(h.sum), fnum(h.Mean()))
+		for i, bound := range h.bounds {
+			fmt.Fprintf(&b, " le=%s:%d", fnum(bound), h.counts[i])
+		}
+		fmt.Fprintf(&b, " le=+Inf:%d\n", h.counts[len(h.bounds)])
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -67,6 +68,7 @@ type FS struct {
 	osts   []*sim.Resource
 	slow   [][]slowWindow // per-OST straggle schedule
 	health *Health
+	obs    *obs.Tracer // nil = span tracing disabled (zero-cost fast path)
 
 	// Stats.
 	BytesRead    int64
@@ -135,6 +137,11 @@ func (fs *FS) slowFactorAt(i int, t float64) float64 {
 
 // Params returns the (defaulted) parameters in use.
 func (fs *FS) Params() Params { return fs.params }
+
+// SetObs installs a structured span tracer on the file system; clients
+// created afterwards emit pfs.read/pfs.write request spans. Nil (the
+// default) disables span tracing at zero cost on the request hot path.
+func (fs *FS) SetObs(t *obs.Tracer) { fs.obs = t }
 
 // Health returns the observed-health tracker shared by all clients of fs.
 func (fs *FS) Health() *Health { return fs.health }
@@ -350,6 +357,7 @@ type Client struct {
 	proc   *sim.Proc
 	rank   int
 	tracer trace.Tracer
+	obs    *obs.Tracer // copied from the FS at creation; nil = disabled
 	policy ReadPolicy
 
 	// Retry counts this client's timeout/retry activity under its ReadPolicy.
@@ -361,7 +369,7 @@ func (fs *FS) Client(proc *sim.Proc, rank int, tracer trace.Tracer) *Client {
 	if tracer == nil {
 		tracer = trace.Nop{}
 	}
-	return &Client{fs: fs, proc: proc, rank: rank, tracer: tracer}
+	return &Client{fs: fs, proc: proc, rank: rank, tracer: tracer, obs: fs.obs}
 }
 
 // SetReadPolicy installs (or, with the zero value, removes) a read
@@ -434,6 +442,7 @@ func (cl *Client) transfer(f *File, buf []byte, off int64, write bool) float64 {
 	}
 	p := cl.fs.params
 	t0 := cl.proc.Now()
+	toBefore, rtBefore := cl.Retry.Timeouts, cl.Retry.Retries
 	// Issue cost: one client CPU overhead per OST request piece.
 	var npieces int
 	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
@@ -454,6 +463,16 @@ func (cl *Client) transfer(f *File, buf []byte, off int64, write bool) float64 {
 	if cl.proc.Now() > w0 {
 		cl.tracer.Record(cl.rank, trace.WaitIO, w0, cl.proc.Now())
 	}
+	if ot := cl.obs; ot != nil {
+		name := "pfs.read"
+		if write {
+			name = "pfs.write"
+		}
+		ot.SpanRank(cl.rank, name, "pfs", t0, cl.proc.Now(),
+			obs.I("bytes", int64(len(buf))), obs.I("pieces", int64(npieces)),
+			obs.I("timeouts", cl.Retry.Timeouts-toBefore),
+			obs.I("retries", cl.Retry.Retries-rtBefore))
+	}
 	return cl.proc.Now()
 }
 
@@ -466,6 +485,7 @@ func (cl *Client) ReadAsync(f *File, buf []byte, off int64) (done float64) {
 	}
 	p := cl.fs.params
 	t0 := cl.proc.Now()
+	toBefore, rtBefore := cl.Retry.Timeouts, cl.Retry.Retries
 	var npieces int
 	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
 	issueDone := t0 + float64(npieces)*p.ClientOverhead
@@ -475,6 +495,16 @@ func (cl *Client) ReadAsync(f *File, buf []byte, off int64) (done float64) {
 	cl.fs.BytesRead += int64(len(buf))
 	cl.proc.SleepUntil(issueDone)
 	cl.tracer.Record(cl.rank, trace.Sys, t0, cl.proc.Now())
+	// The span covers only the issue portion: the rank is free until AwaitIO,
+	// so a span spanning the full service time would overlap whatever the
+	// rank does in between on the same trace track.
+	if ot := cl.obs; ot != nil {
+		ot.SpanRank(cl.rank, "pfs.read", "pfs", t0, cl.proc.Now(),
+			obs.I("bytes", int64(len(buf))), obs.I("pieces", int64(npieces)),
+			obs.I("timeouts", cl.Retry.Timeouts-toBefore),
+			obs.I("retries", cl.Retry.Retries-rtBefore),
+			obs.I("async", 1))
+	}
 	return end
 }
 
@@ -485,6 +515,7 @@ func (cl *Client) AwaitIO(done float64) {
 	cl.proc.SleepUntil(done)
 	if cl.proc.Now() > w0 {
 		cl.tracer.Record(cl.rank, trace.WaitIO, w0, cl.proc.Now())
+		cl.obs.SpanRank(cl.rank, "pfs.await", "pfs", w0, cl.proc.Now())
 	}
 }
 
@@ -510,6 +541,7 @@ func (cl *Client) ReadSparseAsync(f *File, buf []byte, off int64, pieces []layou
 	}
 	p := cl.fs.params
 	t0 := cl.proc.Now()
+	toBefore, rtBefore := cl.Retry.Timeouts, cl.Retry.Retries
 	var npieces int
 	f.pieces(off, int64(len(buf)), func(po, pl int64) { npieces++ })
 	issueDone := t0 + float64(npieces)*p.ClientOverhead
@@ -525,5 +557,13 @@ func (cl *Client) ReadSparseAsync(f *File, buf []byte, off int64, pieces []layou
 	cl.fs.BytesRead += int64(len(buf))
 	cl.proc.SleepUntil(issueDone)
 	cl.tracer.Record(cl.rank, trace.Sys, t0, cl.proc.Now())
+	// Issue-portion span only; see ReadAsync.
+	if ot := cl.obs; ot != nil {
+		ot.SpanRank(cl.rank, "pfs.read", "pfs", t0, cl.proc.Now(),
+			obs.I("bytes", int64(len(buf))), obs.I("pieces", int64(npieces)),
+			obs.I("timeouts", cl.Retry.Timeouts-toBefore),
+			obs.I("retries", cl.Retry.Retries-rtBefore),
+			obs.I("async", 1))
+	}
 	return end
 }

@@ -53,3 +53,32 @@ type Nop struct{}
 
 // Record implements Tracer.
 func (Nop) Record(int, Kind, float64, float64) {}
+
+// Multi returns a Tracer fanning every interval out to each non-nil tracer
+// in ts — how the cluster feeds a metrics.Timeline and an obs.Tracer from
+// the same instrumentation. With zero non-nil tracers it returns Nop; with
+// one it returns that tracer unwrapped.
+func Multi(ts ...Tracer) Tracer {
+	var out multi
+	for _, t := range ts {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return Nop{}
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+type multi []Tracer
+
+// Record implements Tracer.
+func (m multi) Record(rank int, kind Kind, t0, t1 float64) {
+	for _, t := range m {
+		t.Record(rank, kind, t0, t1)
+	}
+}
