@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ccexp [-scale 0.1] [-quick] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs|profile-jobs ...]
+//	ccexp [-scale 0.1] [-quick] [-memo] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs|multiuser|profile-jobs ...]
 //	ccexp -experiment jobs -trace trace.json -metrics metrics.txt
 //
 // With no experiment arguments it lists the available experiments. -scale
@@ -54,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fl.Float64("scale", 0.1, "data-volume scale relative to the paper (1.0 = full)")
 	quick := fl.Bool("quick", false, "shrink process counts too (smoke test)")
 	benchDir := fl.String("bench-dir", "", "directory to write BENCH_<id>.json metric files to (created if missing)")
+	memo := fl.Bool("memo", false, "enable the cluster result cache + read coalescer on experiment machines (multiuser measures both settings itself)")
 	traceOut := fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) here; needs exactly one experiment")
 	metricsOut := fl.String("metrics", "", "write the metrics-registry dump here; needs exactly one experiment")
 	var expFlags experimentList
@@ -74,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fl.Usage()
 		return 2
 	}
-	cfg := experiments.Config{Scale: *scale, Quick: *quick}
+	cfg := experiments.Config{Scale: *scale, Quick: *quick, Memo: *memo}
 
 	var runners []experiments.Runner
 	for _, a := range rest {

@@ -12,6 +12,14 @@
 //	ccrun -workload climate -op maxloc -mode traditional
 //	ccrun -workload climate -stragglers 2 -read-timeout 0.02 -rebalance-rounds 4
 //	ccrun -workload climate -op mean -trace trace.json -metrics metrics.txt
+//	ccrun -workload climate -op sum -repeat 4 -memo
+//
+// -repeat submits the same job N times through the cluster job queue, and
+// -memo enables the cluster's cross-job result cache + read coalescer on it,
+// so duplicate submissions are served from one physical pass (bit-identically
+// — the per-copy "[memo-hit]" markers show which copies never touched
+// storage). The queued path covers the cc and traditional modes; it has no
+// independent mode and manages pipelining and mitigation itself.
 //
 // -trace writes a Chrome trace-event JSON file of the run's span hierarchy
 // (scheduler, cc phases, adio iterations, pfs requests, mpi messages) for
@@ -59,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reduce   = fl.String("reduce", "all2one", "reduce: all2one | all2all")
 		spe      = fl.Float64("comp", 2e-8, "map compute cost per element (seconds)")
 		pipe     = fl.Bool("pipeline", true, "overlap reads with the shuffle")
+		repeat   = fl.Int("repeat", 1, "submit the job N times through the cluster job queue")
+		memo     = fl.Bool("memo", false, "enable the cluster result cache + read coalescer (serves -repeat duplicates from one pass)")
 
 		// Fault injection (see internal/fault).
 		faultSeed  = fl.Int64("fault-seed", 1, "fault plan PRNG seed")
@@ -94,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *traceOut != "" || *metricsOut != "" {
 		ot = obs.New()
 	}
-	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn, Obs: ot})
+	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn, Obs: ot, Memo: *memo})
 	fs := cl.FS()
 
 	if *stragglers > 0 || *slowLinks > 0 || *slowRanks > 0 {
@@ -185,6 +195,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		job.Aggregators = adio.SpreadAggregators(*procs, *naggr)
 	}
 
+	// The queued path: submit through the cluster scheduler so the result
+	// cache can serve duplicate submissions (see internal/cluster/memo.go).
+	if *memo || *repeat != 1 {
+		if *repeat < 1 {
+			return fail("-repeat must be >= 1")
+		}
+		if *mode == "independent" {
+			return fail("-memo/-repeat use the cluster job queue, which has no independent mode")
+		}
+		if *readTimeout > 0 || *readBackoff > 0 || *rebalRounds > 1 {
+			return fail("-memo/-repeat cannot combine with mitigation flags (the queued path manages I/O itself)")
+		}
+		if *naggr > 0 {
+			return fail("-memo/-repeat cannot combine with -aggregators")
+		}
+		cl.RegisterDataset(*workload, ds)
+		crs := make([]*cluster.CCResult, *repeat)
+		for i := range crs {
+			crs[i] = cl.SubmitCC(cluster.CCJob{
+				Name: fmt.Sprintf("%s-%d", *workload, i), Ranks: *procs,
+				Dataset: *workload, VarID: varID,
+				Slab: slab, SplitDim: splitDim,
+				Op: op, Block: *mode == "traditional", Reduce: job.Reduce,
+				SecPerElem: *spe, CB: *cb,
+			})
+		}
+		if _, err := cl.Run(); err != nil {
+			return fail("%v", err)
+		}
+		fmt.Fprintf(stdout, "mode=%s reduce=%s procs=%d op=%s repeat=%d memo=%v\n",
+			*mode, *reduce, *procs, op.Name(), *repeat, *memo)
+		for _, cr := range crs {
+			if !cr.Valid() {
+				return fail("%s: %v", cr.Job.Name, cr.Err)
+			}
+			how := "ran"
+			switch {
+			case cr.MemoHit:
+				how = "memo-hit"
+			case cr.CoalescedWith != nil:
+				how = "shared w/ " + cr.CoalescedWith.Job.Name
+			}
+			fmt.Fprintf(stdout, "%s: result %.6g [%s] %.4fs\n",
+				cr.Job.Name, cr.Res.Value, how, cr.Duration())
+		}
+		if loc, ok := crs[0].Res.State.(cc.Loc); ok && loc.Valid {
+			fmt.Fprintf(stdout, "at coordinates: %v\n", loc.Coords)
+		}
+		fmt.Fprintf(stdout, "virtual makespan: %.4fs\n", cl.Now())
+		if *memo {
+			st := cl.MemoStats()
+			fmt.Fprintf(stdout, "memo: %d hits, %d waiters, %d coalesced, %d physical passes, %.1f MB not re-read\n",
+				st.Hits, st.Waiters, st.Coalesced, st.Misses, float64(st.BytesSaved)/1e6)
+		}
+		return writeObsOutputs(stderr, fail, ot, *traceOut, *metricsOut)
+	}
+
 	var rootRes cc.Result
 	makespan, err := cl.RunSPMD(*workload, func(ctx *cluster.JobContext, r *mpi.Rank) error {
 		myIO := job
@@ -217,8 +284,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "mitigation: %d timeouts, %d retries, %.4fs backoff, %d rebalances (%d flagged-slow OSTs)\n",
 			st.IOTimeouts, st.IORetries, st.BackoffSeconds, st.Rebalances, st.FlaggedSlowOSTs)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	return writeObsOutputs(stderr, fail, ot, *traceOut, *metricsOut)
+}
+
+// writeObsOutputs writes the -trace and -metrics files (both optional) at the
+// end of a run, shared by the direct and queued paths.
+func writeObsOutputs(stderr io.Writer, fail func(string, ...interface{}) int, ot *obs.Tracer, traceOut, metricsOut string) int {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
 		if err != nil {
 			return fail("trace: %v", err)
 		}
@@ -229,10 +302,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := f.Close(); err != nil {
 			return fail("trace: %v", err)
 		}
-		fmt.Fprintf(stderr, "(trace: %d spans -> %s; open at ui.perfetto.dev)\n", ot.NumSpans(), *traceOut)
+		fmt.Fprintf(stderr, "(trace: %d spans -> %s; open at ui.perfetto.dev)\n", ot.NumSpans(), traceOut)
 	}
-	if *metricsOut != "" {
-		if err := os.WriteFile(*metricsOut, []byte(ot.Metrics().Dump()), 0o644); err != nil {
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, []byte(ot.Metrics().Dump()), 0o644); err != nil {
 			return fail("metrics: %v", err)
 		}
 	}

@@ -31,6 +31,10 @@ func TestBadInputs(t *testing.T) {
 		{[]string{"-workload", "wrf", "-task", "nonesuch"}, 1, `unknown wrf task "nonesuch"`},
 		{[]string{"-op", "nonesuch"}, 1, "nonesuch"},
 		{[]string{"-procs", "100", "-steps", "8", "-ny", "64"}, 1, "split the domain"},
+		{[]string{"-memo", "-mode", "independent"}, 1, "no independent mode"},
+		{[]string{"-repeat", "0"}, 1, "-repeat must be >= 1"},
+		{[]string{"-memo", "-read-timeout", "0.01"}, 1, "mitigation"},
+		{[]string{"-memo", "-aggregators", "2"}, 1, "-aggregators"},
 	}
 	for _, c := range cases {
 		args := c.args
@@ -56,6 +60,41 @@ func TestSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stdout missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestMemoRepeatSmoke drives the queued path: duplicate submissions must be
+// served from one physical pass with identical values, deterministically.
+func TestMemoRepeatSmoke(t *testing.T) {
+	args := append(append([]string{}, smokeArgs...), "-op", "sum", "-repeat", "3", "-memo")
+	code, out1, errb := runCmd(args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{
+		"repeat=3 memo=true",
+		"climate-0: result",
+		"shared w/ climate-0",
+		"1 physical passes",
+		"virtual makespan:",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out1)
+		}
+	}
+	// All three copies print the same result value.
+	var vals []string
+	for _, line := range strings.Split(out1, "\n") {
+		if strings.Contains(line, ": result ") {
+			vals = append(vals, strings.Fields(line)[2])
+		}
+	}
+	if len(vals) != 3 || vals[0] != vals[1] || vals[0] != vals[2] {
+		t.Fatalf("copies disagree: %v\n%s", vals, out1)
+	}
+	code, out2, _ := runCmd(args...)
+	if code != 0 || out1 != out2 {
+		t.Fatalf("queued run not deterministic (exit %d):\n--- first\n%s\n--- second\n%s", code, out1, out2)
 	}
 }
 

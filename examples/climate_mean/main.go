@@ -58,9 +58,9 @@ func main() {
 	if _, err := cl.Run(); err != nil {
 		log.Fatal(err)
 	}
-	for _, jr := range sess.Results() {
-		if jr.Err != nil {
-			log.Fatalf("%s: %v", jr.Job.Name, jr.Err)
+	for _, p := range pairs {
+		if !p.trad.Valid() || !p.cc.Valid() {
+			log.Fatalf("job dropped or errored: %v / %v", p.trad.Err, p.cc.Err)
 		}
 	}
 

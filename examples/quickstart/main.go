@@ -94,6 +94,9 @@ func main() {
 			log.Fatalf("%s: %v", jr.Job.Name, jr.Err)
 		}
 	}
+	if !obj.Valid() {
+		log.Fatalf("object-io job produced no result: %v", obj.Err)
+	}
 
 	want := float64(dim) * float64(dim-1) / 2 / 1e6
 	fmt.Printf("expected sum:              %.6e\n", want)

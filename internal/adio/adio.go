@@ -72,8 +72,11 @@ type Hooks struct {
 	// only allowed when SuppressShuffle is set.
 	Transform func(aggrIdx, iter int, it *Iter, ext []byte) map[int]Payload
 	// OnRecv consumes transformed payloads on the owners (including the
-	// aggregator's own, delivered locally without network cost).
-	OnRecv func(owner int, payload interface{}, bytes int64)
+	// aggregator's own, delivered locally without network cost). src is the
+	// sending aggregator's comm rank, so consumers that need a canonical
+	// merge order (float64 reductions) can fold per sender rather than in
+	// arrival order.
+	OnRecv func(src, owner int, payload interface{}, bytes int64)
 	// SuppressShuffle disables all per-iteration shuffle traffic: Transform
 	// is still called (it accumulates state aggregator-side), but nothing is
 	// sent or received — the all-to-one reduce of the paper's §III-C.
@@ -200,7 +203,7 @@ func aggShuffle(r *mpi.Rank, c *mpi.Comm, pl *Plan, me int, tag int,
 			pay, ok := transformed[owner]
 			if ok {
 				if owner == me {
-					hooks.OnRecv(owner, pay.Data, pay.Bytes)
+					hooks.OnRecv(me, owner, pay.Data, pay.Bytes)
 				} else {
 					reqs = append(reqs, r.Isend(c.WorldRank(owner), tag, pay.Data, pay.Bytes))
 				}
@@ -248,7 +251,7 @@ func recvIter(r *mpi.Rank, c *mpi.Comm, pl *Plan, me, k, tag, expectPos int,
 		src := c.WorldRank(pl.Aggrs[e.Aggr])
 		v, n := r.Recv(src, tag)
 		if hooks != nil {
-			hooks.OnRecv(me, v, n)
+			hooks.OnRecv(pl.Aggrs[e.Aggr], me, v, n)
 		} else {
 			msg := v.(shuffleMsg)
 			for _, pc := range msg.pieces {

@@ -699,7 +699,7 @@ func TestCollectiveReadTransformedShuffle(t *testing.T) {
 					}
 					return out
 				},
-				OnRecv: func(owner int, payload interface{}, bytes int64) {
+				OnRecv: func(src, owner int, payload interface{}, bytes int64) {
 					gotBytes[owner] += bytes
 					gotSum[owner] += payload.(int64)
 				},

@@ -68,20 +68,34 @@ type Observer interface {
 }
 
 // PlanCache shares one Plan across ranks of a single collective call. For
-// multi-round protocols (rebalanced reads), Keyed shares one plan per round.
+// multi-round protocols (rebalanced reads), Keyed shares one plan per round
+// and health epoch.
 type PlanCache struct {
 	pl    *Plan
-	keyed map[int]*Plan
+	keyed map[RoundKey]*Plan
+}
+
+// RoundKey identifies one round plan in a shared PlanCache. Round alone is
+// not a safe key across jobs: rebalanced plans embed health observations from
+// build time, so a plan built during a straggler episode must not be served
+// to a job running after recovery (or vice versa). Epoch carries the
+// fault-health epoch the plan was built under (pfs.Health.Epoch, collectively
+// agreed by the caller); on a healthy file system it stays 0 and same-shape
+// jobs share round plans exactly as before.
+type RoundKey struct {
+	Round int
+	Epoch int64
 }
 
 // Keyed returns the cached plan for key, building and caching it via build on
 // first use. Every rank of a multi-round collective call must reach round
-// `key` with identical inputs; the first rank to arrive constructs the plan
-// and the rest reuse the identical object, mirroring what real ROMIO achieves
-// by construction (all ranks run the same deterministic planner).
-func (c *PlanCache) Keyed(key int, build func() *Plan) *Plan {
+// key.Round with identical inputs (including an identical, collectively
+// agreed key.Epoch); the first rank to arrive constructs the plan and the
+// rest reuse the identical object, mirroring what real ROMIO achieves by
+// construction (all ranks run the same deterministic planner).
+func (c *PlanCache) Keyed(key RoundKey, build func() *Plan) *Plan {
 	if c.keyed == nil {
-		c.keyed = make(map[int]*Plan)
+		c.keyed = make(map[RoundKey]*Plan)
 	}
 	if pl, ok := c.keyed[key]; ok {
 		return pl
@@ -89,6 +103,16 @@ func (c *PlanCache) Keyed(key int, build func() *Plan) *Plan {
 	pl := build()
 	c.keyed[key] = pl
 	return pl
+}
+
+// KeyedPlans returns a copy of the round-plan cache contents, for tests and
+// diagnostics: which (round, epoch) plans this cache served.
+func (c *PlanCache) KeyedPlans() map[RoundKey]*Plan {
+	out := make(map[RoundKey]*Plan, len(c.keyed))
+	for k, v := range c.keyed {
+		out[k] = v
+	}
+	return out
 }
 
 // Defaults fills unset fields.

@@ -1,0 +1,188 @@
+package cc
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/adio"
+	"repro/internal/layout"
+	"repro/internal/mpi"
+	"repro/internal/ncfile"
+)
+
+// tagOp is a diagnostic operator whose state records, in fold order, the comm
+// rank of the aggregator that absorbed each piece group. It makes the
+// owner-side merge order of the all-to-all shuffle observable: the sequence a
+// rank sees in LocalState is exactly the order partials were folded in.
+type tagOp struct{ me int }
+
+type tagState []int
+
+func (o tagOp) Name() string      { return "tag" }
+func (o tagOp) Zero() State       { return tagState(nil) }
+func (o tagOp) StateBytes() int64 { return 8 }
+
+func (o tagOp) Absorb(s State, sub Subset) State {
+	ts := s.(tagState)
+	out := make(tagState, len(ts)+1)
+	copy(out, ts)
+	out[len(ts)] = o.me
+	return out
+}
+
+func (o tagOp) Merge(a, b State) State {
+	x, y := a.(tagState), b.(tagState)
+	out := make(tagState, 0, len(x)+len(y))
+	out = append(out, x...)
+	return append(out, y...)
+}
+
+func (o tagOp) Value(s State) float64 { return float64(len(s.(tagState))) }
+
+// TestAllToAllSenderOrderDeterministic is the regression test for the
+// all-to-all merge order: each rank must fold the shuffled partials in
+// ascending sender (aggregator) rank, not in delivery order. Before the fix,
+// an aggregator-owner folded its own locally produced partials first — even
+// when lower-ranked aggregators were also sending to it — so the fold order
+// depended on delivery interleaving rather than being a canonical function of
+// the plan, and float64 results could not be compared bit-for-bit against a
+// reordered execution.
+func TestAllToAllSenderOrderDeterministic(t *testing.T) {
+	dims := []int64{8, 6, 10}
+	whole := layout.Slab{Start: []int64{1, 0, 2}, Count: []int64{6, 6, 7}}
+	const n = 4
+	slabs := splitSlab(whole, n)
+	tb := newTestbed(t, n, ncfile.Float64, dims)
+
+	seqs := make([]tagState, n)
+	errs := make([]error, n)
+	tb.w.Go(func(r *mpi.Rank) {
+		me := r.Rank()
+		cl := tb.fs.Client(r.Proc(), r.Rank(), nil)
+		io := IO{
+			DS: tb.ds, VarID: tb.id, Slab: slabs[me],
+			Reduce:      AllToAll,
+			Aggregators: []int{0, 1, 2, 3},
+			Params:      adio.Params{CB: 512},
+			LocalState:  func(st State) { seqs[me] = st.(tagState) },
+		}
+		_, errs[me] = ObjectGetVara(r, tb.c, cl, io, tagOp{me: me})
+	})
+	if err := tb.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+
+	multi := false
+	for rank, seq := range seqs {
+		if len(seq) == 0 {
+			continue
+		}
+		if !sort.IntsAreSorted([]int(seq)) {
+			t.Fatalf("rank %d folded partials out of sender order: %v", rank, seq)
+		}
+		if seq[0] != seq[len(seq)-1] {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Fatal("no rank received partials from more than one sender; test is vacuous")
+	}
+}
+
+// TestConsumersBitIdenticalToColdRuns is the coalescing property test at the
+// runtime level: a donor pass with fused consumers must leave the donor's
+// result untouched and produce, for each eligible consumer, exactly the bits
+// its own cold run produces — for an exact-shape order-sensitive operator
+// (MinLoc) and for contained-window order-invariant operators (Histogram,
+// Min).
+func TestConsumersBitIdenticalToColdRuns(t *testing.T) {
+	dims := []int64{8, 6, 10}
+	whole := layout.Slab{Start: []int64{1, 0, 2}, Count: []int64{6, 6, 7}}
+	window := layout.Slab{Start: []int64{2, 1, 3}, Count: []int64{3, 4, 4}}
+	const n = 4
+	wholeSlabs := splitSlab(whole, n)
+	winSlabs := splitSlab(window, n)
+	params := adio.Params{CB: 512, Pipeline: true}
+
+	cold := func(slabs []layout.Slab, op Op) Result {
+		tb := newTestbed(t, n, ncfile.Float64, dims)
+		res := runObjectGetVara(t, tb, slabs,
+			IO{Reduce: AllToOne, Params: params}, op)
+		return res[0]
+	}
+	donorCold := cold(wholeSlabs, Sum{})
+	exactCold := cold(wholeSlabs, MinLoc{})
+	histCold := cold(winSlabs, Histogram{Lo: 0, Hi: 125, Bins: 10})
+	minCold := cold(winSlabs, Min{})
+
+	var exactRes, histRes, minRes Result
+	cons := []Consumer{
+		{Op: MinLoc{}, OnResult: func(r Result) { exactRes = r }},
+		{Op: WindowOp{Op: Histogram{Lo: 0, Hi: 125, Bins: 10}, Window: window},
+			OnResult: func(r Result) { histRes = r }},
+		{Op: WindowOp{Op: Min{}, Window: window},
+			OnResult: func(r Result) { minRes = r }},
+	}
+	tb := newTestbed(t, n, ncfile.Float64, dims)
+	warm := runObjectGetVara(t, tb, wholeSlabs,
+		IO{Reduce: AllToOne, Params: params, Consumers: cons}, Sum{})
+
+	check := func(label string, got, want Result) {
+		t.Helper()
+		if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+			t.Fatalf("%s: fused value %x != cold value %x", label,
+				math.Float64bits(got.Value), math.Float64bits(want.Value))
+		}
+		if !reflect.DeepEqual(got.State, want.State) {
+			t.Fatalf("%s: fused state %+v != cold state %+v", label, got.State, want.State)
+		}
+	}
+	check("donor sum", warm[0], donorCold)
+	check("exact minloc", exactRes, exactCold)
+	check("windowed histogram", histRes, histCold)
+	check("windowed min", minRes, minCold)
+}
+
+// TestIntersectSubset checks the row-major gather of the window clip against
+// a directly computed reference.
+func TestIntersectSubset(t *testing.T) {
+	sub := Subset{
+		Slab: layout.Slab{Start: []int64{2, 3}, Count: []int64{4, 5}},
+		Data: make([]float64, 20),
+	}
+	for i := range sub.Data {
+		sub.Data[i] = float64(i)
+	}
+	win := layout.Slab{Start: []int64{3, 4}, Count: []int64{2, 2}}
+	got, ok := IntersectSubset(sub, win)
+	if !ok {
+		t.Fatal("intersection reported empty")
+	}
+	want := []float64{6, 7, 11, 12} // rows 1-2, cols 1-2 of the 4x5 block
+	if !reflect.DeepEqual(got.Data, want) {
+		t.Fatalf("gathered %v, want %v", got.Data, want)
+	}
+	if got.Slab.Start[0] != 3 || got.Slab.Start[1] != 4 ||
+		got.Slab.Count[0] != 2 || got.Slab.Count[1] != 2 {
+		t.Fatalf("clipped slab %+v", got.Slab)
+	}
+
+	if _, ok := IntersectSubset(sub, layout.Slab{
+		Start: []int64{0, 0}, Count: []int64{1, 1}}); ok {
+		t.Fatal("disjoint window reported non-empty")
+	}
+
+	// A window covering the subset returns it untouched (fast path).
+	full, ok := IntersectSubset(sub, layout.Slab{
+		Start: []int64{0, 0}, Count: []int64{10, 10}})
+	if !ok || !reflect.DeepEqual(full, sub) {
+		t.Fatal("covering window must return the subset unchanged")
+	}
+}

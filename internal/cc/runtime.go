@@ -2,6 +2,7 @@ package cc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/adio"
 	"repro/internal/layout"
@@ -107,6 +108,14 @@ type IO struct {
 	// reduce — the "further processing on the results, locally" that the
 	// paper gives as the reason to keep the all-to-all mode (§III-C).
 	LocalState func(State)
+	// Consumers piggybacks additional analyses on this job's physical pass
+	// (cross-job read coalescing): each consumer's operator is fused with op
+	// and evaluated over the same reconstructed subsets, and its result is
+	// delivered on the root via Consumer.OnResult. Requires the
+	// collective-computing path (no Block, no Independent). Every rank must
+	// pass the identical consumer list. See Consumer for the eligibility
+	// rules that make piggybacked results bit-identical to cold runs.
+	Consumers []Consumer
 }
 
 // Result is the outcome of an object I/O on one rank.
@@ -245,6 +254,12 @@ func ObjectGetVara(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Resu
 		io.Params.ReadRetries = io.Mitigate.MaxRetries
 		io.Params.ReadBackoff = io.Mitigate.Backoff
 	}
+	if len(io.Consumers) > 0 {
+		if io.Block || io.Mode == Independent {
+			return Result{}, fmt.Errorf("cc: consumers require the collective-computing path")
+		}
+		return runWithConsumers(r, c, cl, io, op)
+	}
 	before := cl.Retry
 	ot := r.World().Obs()
 	var sp obs.SpanID
@@ -272,6 +287,44 @@ func ObjectGetVara(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Resu
 		io.Stats.BackoffSeconds += cl.Retry.BackoffSeconds - before.BackoffSeconds
 	}
 	return res, err
+}
+
+// runWithConsumers executes the object I/O once with op fused against every
+// consumer's operator, then unpacks the per-consumer results on the root.
+// The fold structure per fused component is exactly what each operator's own
+// run would use, so the primary result is unchanged bit for bit, and every
+// eligible consumer's result matches its cold run (see Consumer).
+func runWithConsumers(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op Op) (Result, error) {
+	cons := io.Consumers
+	ops := make([]Op, 1+len(cons))
+	ops[0] = op
+	fio := io
+	fio.Consumers = nil
+	for i, cs := range cons {
+		ops[1+i] = cs.Op
+		fio.SecPerElem += cs.SecPerElem
+	}
+	fused := Fuse{Ops: ops}
+	if inner := io.LocalState; inner != nil {
+		fio.LocalState = func(st State) { inner(fused.StateOf(st, 0)) }
+	}
+	res, err := ObjectGetVara(r, c, cl, fio, fused)
+	if err != nil {
+		return Result{}, err
+	}
+	// The broadcast Value is already the primary operator's (Fuse.Value
+	// reports its first component); only the root holds fused state.
+	if res.Root {
+		st := res.State
+		for i, cs := range cons {
+			cst := fused.StateOf(st, 1+i)
+			if cs.OnResult != nil {
+				cs.OnResult(Result{Value: cs.Op.Value(cst), State: cst, Root: true})
+			}
+		}
+		res.State = fused.StateOf(st, 0)
+	}
+	return res, nil
 }
 
 // runTraditional is the paper's Figure 5 baseline: finish the I/O, then
@@ -359,9 +412,10 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 		par = float64(r.World().Net().Params().RanksPerNode)
 	}
 
-	// Owner-side accumulated state (all-to-all) and aggregator-side
-	// per-owner accumulation (all-to-one).
-	myState := op.Zero()
+	// Owner-side accumulated state (all-to-all, one slot per sending
+	// aggregator so the final fold can run in sender-rank order) and
+	// aggregator-side per-owner accumulation (all-to-one).
+	bySender := make(map[int]State)
 	var perOwner map[int]*partialMsg
 	if io.Reduce == AllToOne {
 		perOwner = make(map[int]*partialMsg)
@@ -463,10 +517,14 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 	if io.Reduce == AllToOne {
 		hooks.SuppressShuffle = true
 	} else {
-		hooks.OnRecv = func(owner int, payload interface{}, bytes int64) {
+		hooks.OnRecv = func(src, owner int, payload interface{}, bytes int64) {
 			t0 := r.Now()
 			msg := payload.(partialMsg)
-			myState = op.Merge(myState, msg.state)
+			if st, ok := bySender[src]; ok {
+				bySender[src] = op.Merge(st, msg.state)
+			} else {
+				bySender[src] = msg.state
+			}
 			r.Compute(mergeCost)
 			if io.Stats != nil {
 				io.Stats.LocalReduceSeconds += r.Now() - t0
@@ -506,13 +564,26 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 			thr = 2
 		}
 		for j := 0; j < rounds; j++ {
+			// Health sync: rebalancing decisions must see every rank's
+			// observations from the previous round, not just those of
+			// whichever rank happens to arrive first. The allreduce models
+			// the health exchange a real implementation would perform, and
+			// its agreed maximum epoch keys the round's plan: plans embed
+			// health observations from build time, so a plan another job
+			// built under a different fault picture (straggler onset or
+			// recovery between the two jobs) must not be reused — the
+			// shared-plan-cache staleness bug. Round 0 plans are
+			// health-independent and stay shared under epoch 0.
+			epoch := int64(0)
 			if j > 0 {
-				// Health sync: rebalancing decisions must see every rank's
-				// observations from the previous round, not just those of
-				// whichever rank happens to arrive first. A real
-				// implementation would allgather health here; the barrier
-				// models that synchronization.
-				c.Barrier(r)
+				epoch = c.Allreduce(r, health.Epoch(), 8,
+					func(a, b interface{}) interface{} {
+						x, y := a.(int64), b.(int64)
+						if y > x {
+							return y
+						}
+						return x
+					}).(int64)
 			}
 			blo := hullLo + int64(j)*band
 			bhi := blo + band
@@ -527,7 +598,7 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 				wreqs[o] = layout.Window(rs, blo, bhi)
 			}
 			j := j
-			rpl := io.Params.PlanCache.Keyed(j, func() *adio.Plan {
+			rpl := io.Params.PlanCache.Keyed(adio.RoundKey{Round: j, Epoch: epoch}, func() *adio.Plan {
 				if j > 0 {
 					if flagged := health.Flagged(thr); len(flagged) > 0 {
 						if io.Stats != nil {
@@ -563,6 +634,24 @@ func runCollectiveComputing(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, io IO, op 
 
 	if io.Reduce == AllToOne {
 		return allToOneFinish(r, c, io, op, pl, perOwner, me)
+	}
+	// Fold the per-sender partials in ascending sender rank: the fold order
+	// becomes a pure function of the plan rather than of message arrival, so
+	// float64 merges are bit-identical across solo/serial/concurrent runs no
+	// matter how deliveries interleave.
+	senders := make([]int, 0, len(bySender))
+	for s := range bySender {
+		senders = append(senders, s)
+	}
+	sort.Ints(senders)
+	tf0 := r.Now()
+	myState := op.Zero()
+	for _, s := range senders {
+		myState = op.Merge(myState, bySender[s])
+		r.Compute(mergeCost)
+	}
+	if io.Stats != nil {
+		io.Stats.LocalReduceSeconds += r.Now() - tf0
 	}
 	if io.LocalState != nil {
 		io.LocalState(myState)

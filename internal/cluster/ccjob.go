@@ -28,11 +28,11 @@ type CCJob struct {
 	Op       cc.Op
 	// Block disables collective computing (the traditional baseline).
 	Block bool
-	// Reduce selects the intermediate reduction mode. Note: with concurrent
-	// jobs, AllToAll float64 merges are arrival-ordered and cross-job network
-	// contention can reorder them; use AllToOne for float64 ops that must be
-	// bit-identical to a solo run, AllToAll for order-independent states
-	// (e.g. integer histogram counts).
+	// Reduce selects the intermediate reduction mode. Both modes are
+	// bit-deterministic, even with concurrent jobs: AllToOne merges in
+	// plan-determined order at the root, and AllToAll folds shuffled partials
+	// in sender-rank order, so float64 results are bit-identical to a solo
+	// run under either mode.
 	Reduce cc.ReduceMode
 	// SecPerElem is the map's virtual CPU cost per element.
 	SecPerElem float64
@@ -44,36 +44,81 @@ type CCJob struct {
 // reduction root.
 type CCResult struct {
 	*JobResult
-	// Res is the root rank's cc.Result, valid after Run if the job ran.
+	// Res is the root rank's cc.Result. Check Valid before reading it: Res
+	// stays zero-valued for deadline-dropped and errored jobs.
 	Res cc.Result
 }
 
-// SubmitCC queues a declarative collective-computing job. Jobs with the same
-// access shape (dataset, slab, split, rank count, buffer size) share one
-// collective-I/O plan cache automatically.
-func (c *Cluster) SubmitCC(j CCJob) *CCResult {
+// Valid reports whether Res holds the job's analysis result: the job
+// completed without error — by running, from the result cache (Spec.Memo),
+// or coalesced onto a donor job's pass. Deadline-dropped and errored jobs
+// return false and leave Res zero-valued, mirroring JobResult's -1 timing
+// sentinels.
+func (cr *CCResult) Valid() bool {
+	return cr.JobResult != nil && cr.Err == nil && cr.End >= 0
+}
+
+// ccMeta is the memoization/coalescing view of one CC submission: the
+// normalized job shape, its semantic identity keys, and — for admitted
+// donors — the jobs riding on its result or its physical pass.
+type ccMeta struct {
+	job CCJob  // normalized copy (Ranks and CB resolved)
+	out *CCResult
+	// shapeKey identifies the access shape (dataset, var, slab, split,
+	// ranks, buffer, block) — also the shared plan-cache key.
+	shapeKey string
+	// memoKey extends shapeKey with the reduce mode and the operator
+	// identity (type + parameters): two jobs with equal memoKey produce
+	// bit-identical results, so one cached cc.Result serves both.
+	memoKey string
+	// bytes is the logical data volume the job's read streams — what a memo
+	// hit or coalesce saves.
+	bytes int64
+	// gen is the dataset generation the job ran (or was served) against.
+	gen int
+
+	// Donor-side state, set while the job is admitted (see memo.go).
+	consumers []cc.Consumer // fused piggyback specs for followers
+	waiters   []*JobResult  // identical jobs completed with this result
+	followers []*JobResult  // coalesced jobs computed by the fused pass
+}
+
+// prepareCC normalizes j and builds the scheduler Job plus the memo
+// metadata shared by SubmitCC and SubmitCCAt.
+func (c *Cluster) prepareCC(j CCJob) (*Job, *CCResult, *ccMeta) {
 	if j.Op == nil {
 		panic(fmt.Sprintf("cluster: CC job %q has no Op", j.Name))
 	}
-	c.Dataset(j.Dataset) // fail fast on unknown dataset
-	ranks := j.Ranks
-	if ranks == 0 {
-		ranks = c.spec.Ranks
+	ds := c.Dataset(j.Dataset) // fail fast on unknown dataset
+	v, err := ds.Var(j.VarID)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: CC job %q: %v", j.Name, err))
 	}
-	cb := j.CB
-	if cb == 0 {
-		cb = 4 << 20
+	if j.Ranks == 0 {
+		j.Ranks = c.spec.Ranks
+	}
+	if j.CB == 0 {
+		j.CB = 4 << 20
 	}
 	// The plan is a pure function of the per-comm-rank requests, so jobs with
 	// identical shapes can share plans even on different world-rank subsets.
-	key := fmt.Sprintf("cc:%s:v%d:%v:%v:d%d:r%d:cb%d:b%t",
-		j.Dataset, j.VarID, j.Slab.Start, j.Slab.Count, j.SplitDim, ranks, cb, j.Block)
+	shape := fmt.Sprintf("cc:%s:v%d:%v:%v:d%d:r%d:cb%d:b%t",
+		j.Dataset, j.VarID, j.Slab.Start, j.Slab.Count, j.SplitDim, j.Ranks, j.CB, j.Block)
+	meta := &ccMeta{
+		job:      j,
+		shapeKey: shape,
+		// %T%+v captures the operator's type and parameters (Name() alone
+		// would conflate, e.g., two Histograms with different ranges).
+		memoKey: fmt.Sprintf("%s:red%d:op%T%+v", shape, j.Reduce, j.Op, j.Op),
+		bytes:   j.Slab.NumElems() * v.Type.Size(),
+	}
 	out := &CCResult{}
-	jr := c.Submit(&Job{
+	meta.out = out
+	job := &Job{
 		Name:     j.Name,
 		Ranks:    j.Ranks,
 		Deadline: j.Deadline,
-		PlanKey:  key,
+		PlanKey:  shape,
 		Main: func(ctx *JobContext, r *mpi.Rank) error {
 			comm := ctx.Comm()
 			slabs := climate.SplitAlongDim(j.Slab, j.SplitDim, comm.Size())
@@ -83,8 +128,9 @@ func (c *Cluster) SubmitCC(j CCJob) *CCResult {
 				Slab:       slabs[comm.RankOf(r)],
 				Block:      j.Block,
 				Reduce:     j.Reduce,
-				Params:     adio.Params{CB: cb, Pipeline: !j.Block},
+				Params:     adio.Params{CB: j.CB, Pipeline: !j.Block},
 				SecPerElem: j.SecPerElem,
+				Consumers:  meta.consumers,
 			}, j.Op)
 			if err != nil {
 				return err
@@ -94,7 +140,29 @@ func (c *Cluster) SubmitCC(j CCJob) *CCResult {
 			}
 			return nil
 		},
-	})
+	}
+	return job, out, meta
+}
+
+// SubmitCC queues a declarative collective-computing job. Jobs with the same
+// access shape (dataset, slab, split, rank count, buffer size) share one
+// collective-I/O plan cache automatically; with Spec.Memo enabled, jobs with
+// the same full semantic shape additionally share results, and overlapping
+// jobs share one physical pass (see memo.go).
+func (c *Cluster) SubmitCC(j CCJob) *CCResult {
+	job, out, meta := c.prepareCC(j)
+	jr := c.Submit(job)
+	jr.cc = meta
+	out.JobResult = jr
+	return out
+}
+
+// SubmitCCAt queues a declarative collective-computing job arriving at
+// virtual time t > 0 (see SubmitAt).
+func (c *Cluster) SubmitCCAt(t float64, j CCJob) *CCResult {
+	job, out, meta := c.prepareCC(j)
+	jr := c.SubmitAt(t, job)
+	jr.cc = meta
 	out.JobResult = jr
 	return out
 }

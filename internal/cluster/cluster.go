@@ -49,6 +49,12 @@ type Spec struct {
 	// MaxConcurrent caps how many jobs run at once; 0 means unlimited
 	// (bounded only by rank-count fit). 1 serializes the queue.
 	MaxConcurrent int
+	// Memo enables cross-job result memoization and shared-window read
+	// coalescing for CC jobs (see memo.go): identical jobs are served from a
+	// result cache or attached to an in-flight twin, and overlapping jobs
+	// share one physical pass. All shared results are bit-identical to cold
+	// runs; invalidation is by dataset generation (ReplaceDataset).
+	Memo bool
 	// Obs, when non-nil, installs a structured span tracer + metrics registry
 	// across every layer of the machine (scheduler, cc, adio, pfs, mpi); see
 	// internal/obs. Nil disables span tracing at zero cost on hot paths.
@@ -69,7 +75,9 @@ type Cluster struct {
 	world *mpi.Comm
 
 	datasets map[string]*ncfile.Dataset
+	gens     map[string]int // dataset replacement generations
 	plans    map[string]*adio.PlanCache
+	memo     *memoTable // result cache; nil unless Spec.Memo
 
 	pending    []*JobResult // FIFO admission queue
 	futureSubs int          // SubmitAt callbacks not yet fired
@@ -90,7 +98,11 @@ func New(spec Spec) *Cluster {
 		spec: spec, env: env, w: w, fs: pfs.New(env, spec.FS),
 		obs:      spec.Obs,
 		datasets: make(map[string]*ncfile.Dataset),
+		gens:     make(map[string]int),
 		plans:    make(map[string]*adio.PlanCache),
+	}
+	if spec.Memo {
+		c.memo = newMemoTable()
 	}
 	if spec.TimelineBucket > 0 {
 		c.tl = metrics.NewTimeline(spec.Ranks, spec.TimelineBucket)
@@ -172,6 +184,30 @@ func (c *Cluster) RegisterDataset(name string, ds *ncfile.Dataset) {
 	c.datasets[name] = ds
 }
 
+// ReplaceDataset swaps the dataset registered under name for ds, bumping the
+// dataset's generation: every memoized result computed against the old
+// contents is invalidated, so later identical submissions re-read the new
+// data. Panics if name was never registered (use RegisterDataset first).
+func (c *Cluster) ReplaceDataset(name string, ds *ncfile.Dataset) {
+	if _, ok := c.datasets[name]; !ok {
+		panic(fmt.Sprintf("cluster: ReplaceDataset of unregistered dataset %q", name))
+	}
+	c.datasets[name] = ds
+	c.gens[name]++
+	if c.memo != nil {
+		c.memo.invalidate(name)
+	}
+}
+
+// MemoStats returns the result cache's counters; all zero unless Spec.Memo
+// was set. Valid after Run.
+func (c *Cluster) MemoStats() MemoStats {
+	if c.memo == nil {
+		return MemoStats{}
+	}
+	return c.memo.stats
+}
+
 // Dataset returns the dataset registered under name.
 func (c *Cluster) Dataset(name string) *ncfile.Dataset {
 	ds, ok := c.datasets[name]
@@ -245,6 +281,15 @@ func (c *Cluster) finishObs() {
 	m.Counter("pfs_requests").Add(float64(c.fs.Requests))
 	m.Counter("pfs_timeouts").Add(float64(c.fs.Timeouts))
 	m.Counter("pfs_retries").Add(float64(c.fs.Retries))
+	if c.memo != nil {
+		s := c.memo.stats
+		m.Counter("memo_hits").Add(float64(s.Hits))
+		m.Counter("memo_waiters").Add(float64(s.Waiters))
+		m.Counter("memo_coalesced").Add(float64(s.Coalesced))
+		m.Counter("memo_misses").Add(float64(s.Misses))
+		m.Counter("memo_bytes_saved").Add(float64(s.BytesSaved))
+		m.Counter("memo_invalidations").Add(float64(s.Invalidations))
+	}
 }
 
 // RunSPMD submits a single job spanning every rank, runs the cluster, and

@@ -188,13 +188,25 @@ func ccSumJob(name string, ranks int, tstart, tcount int64) CCJob {
 	}
 }
 
-// TestCCJobsConcurrentBitIdentical: two CC sum jobs on disjoint halves of
-// the cluster must produce, concurrently, bit-identical values to their solo
-// runs — and finish sooner than serialized.
+// a2aSumJob is ccSumJob under all-to-all reduction: float64 partials are
+// shuffled to owners and folded there.
+func a2aSumJob(name string, ranks int, tstart, tcount int64) CCJob {
+	j := ccSumJob(name, ranks, tstart, tcount)
+	j.Reduce = cc.AllToAll
+	return j
+}
+
+// TestCCJobsConcurrentBitIdentical: CC sum jobs on disjoint halves of the
+// cluster must produce, concurrently, bit-identical values to their solo runs
+// — and finish sooner than serialized. The all-to-all pair is the regression
+// for the sender-rank fold order: float64 merges under AllToAll must be
+// bit-identical across solo, serial, and concurrent executions.
 func TestCCJobsConcurrentBitIdentical(t *testing.T) {
 	jobs := []CCJob{
 		ccSumJob("sum0", 2, 0, 8),
 		ccSumJob("sum1", 2, 8, 8),
+		a2aSumJob("a2a0", 2, 0, 8),
+		a2aSumJob("a2a1", 2, 8, 8),
 	}
 
 	solo := make([]uint64, len(jobs))

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// This file implements cross-job result memoization and shared-window read
+// coalescing (Spec.Memo). Three sharing regimes, all bit-identical to cold
+// runs:
+//
+//   - Memo hit: a queued job's full semantic shape (dataset generation, var,
+//     slab, split, rank count, buffer, block flag, reduce mode, operator
+//     identity) matches a completed job's — the cached cc.Result is returned
+//     instantly, occupying no ranks.
+//   - Waiter: the matching job is still running — the queued job attaches to
+//     it and completes the moment the donor does, with the donor's result.
+//   - Coalesced follower: a queued job's read window overlaps an admitted
+//     donor's pass — its operator is fused onto the donor's physical pass
+//     (cc.Consumer) and evaluated from the same subsets, saving the re-read.
+//
+// Follower eligibility is conservative so results stay bit-identical (see
+// internal/cc/coalesce.go): either the follower's full shape and reduce mode
+// equal the donor's (any operator), or its slab is contained in the donor's
+// and its operator is order-invariant.
+//
+// Invalidation: entries are keyed by dataset generation; ReplaceDataset bumps
+// the generation and drops the dataset's entries, so stale results can never
+// be served.
+
+// MemoStats counts the result cache's activity over a run. Available without
+// obs via Cluster.MemoStats; mirrored into the metrics registry (memo_*
+// counters) when Spec.Obs is set.
+type MemoStats struct {
+	Hits          int   // completed-result cache hits (no ranks occupied)
+	Waiters       int   // jobs completed by attaching to an in-flight twin
+	Coalesced     int   // jobs piggybacked onto a donor's physical pass
+	Misses        int   // CC jobs that ran their own physical pass
+	BytesSaved    int64 // logical bytes not re-read thanks to sharing
+	Invalidations int   // cached results dropped by ReplaceDataset
+}
+
+type memoEntry struct {
+	res cc.Result
+	ds  string // dataset name, for invalidation
+}
+
+// memoTable is the cluster-level result cache plus the in-flight donor index.
+type memoTable struct {
+	entries map[string]memoEntry  // generation-prefixed memoKey -> result
+	running map[string]*JobResult // memoKey -> admitted donor
+	stats   MemoStats
+}
+
+func newMemoTable() *memoTable {
+	return &memoTable{
+		entries: make(map[string]memoEntry),
+		running: make(map[string]*JobResult),
+	}
+}
+
+func entryKey(gen int, memoKey string) string {
+	return fmt.Sprintf("g%d:%s", gen, memoKey)
+}
+
+func (t *memoTable) invalidate(dataset string) {
+	for k, e := range t.entries {
+		if e.ds == dataset {
+			delete(t.entries, k)
+			t.stats.Invalidations++
+		}
+	}
+}
+
+// generation returns the dataset's replacement count (0 until the first
+// ReplaceDataset).
+func (c *Cluster) generation(dataset string) int { return c.gens[dataset] }
+
+// memoTryComplete serves the queue head from the memo layer when possible: a
+// cached result completes it instantly; an identical in-flight job adopts it
+// as a waiter. Returns true when jr was consumed (the caller pops it from the
+// queue without admitting it).
+func (c *Cluster) memoTryComplete(jr *JobResult, now float64) bool {
+	if c.memo == nil || jr.cc == nil {
+		return false
+	}
+	meta := jr.cc
+	gen := c.generation(meta.job.Dataset)
+	if e, ok := c.memo.entries[entryKey(gen, meta.memoKey)]; ok {
+		meta.gen = gen
+		jr.Start, jr.End = now, now
+		jr.MemoHit = true
+		meta.out.Res = e.res
+		c.memo.stats.Hits++
+		c.memo.stats.BytesSaved += meta.bytes
+		if jr.session != nil {
+			jr.session.stats.Add(jr.Stats)
+		}
+		if ot := c.obs; ot != nil {
+			ot.SetThreadName(0, jr.pid-1, "job "+jr.Job.Name)
+			ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
+				obs.S("job", jr.Job.Name))
+			ot.Instant(0, jr.pid-1, "memo-hit", "sched", now,
+				obs.S("job", jr.Job.Name), obs.I("bytes_saved", meta.bytes))
+			m := ot.Metrics()
+			m.Counter("cluster_jobs_completed").Inc()
+			m.Histogram("cluster_turnaround_seconds").Observe(now - jr.Submit)
+		}
+		return true
+	}
+	if donor, ok := c.memo.running[meta.memoKey]; ok && donor.cc.gen == gen {
+		meta.gen = gen
+		jr.Start = now
+		jr.CoalescedWith = donor
+		donor.cc.waiters = append(donor.cc.waiters, jr)
+		if ot := c.obs; ot != nil {
+			ot.SetThreadName(0, jr.pid-1, "job "+jr.Job.Name)
+			ot.Instant(0, jr.pid-1, "memo-wait", "sched", now,
+				obs.S("job", jr.Job.Name), obs.S("donor", donor.Job.Name))
+		}
+		return true
+	}
+	return false
+}
+
+// memoAdmit registers jr as an in-flight donor and sweeps the queue for jobs
+// that can share its result (waiters) or its physical pass (coalesced
+// followers). Attached jobs are removed from the queue; followers' operators
+// are fused into the donor's pass via meta.consumers before the donor's
+// ranks start. Called at admission time, after jr was popped from the queue.
+func (c *Cluster) memoAdmit(jr *JobResult, now float64) {
+	if c.memo == nil || jr.cc == nil {
+		return
+	}
+	meta := jr.cc
+	meta.gen = c.generation(meta.job.Dataset)
+	c.memo.running[meta.memoKey] = jr
+	c.memo.stats.Misses++
+
+	keep := c.pending[:0]
+	for _, p := range c.pending {
+		if !c.memoAttach(jr, p, now) {
+			keep = append(keep, p)
+		}
+	}
+	// Zero the tail so dropped entries don't linger in the backing array.
+	for i := len(keep); i < len(c.pending); i++ {
+		c.pending[i] = nil
+	}
+	c.pending = keep
+}
+
+// memoAttach tries to attach pending job p to admitted donor jr, returning
+// true when p was absorbed (waiter or coalesced follower).
+func (c *Cluster) memoAttach(jr, p *JobResult, now float64) bool {
+	if p.cc == nil {
+		return false
+	}
+	d, f := jr.cc, p.cc
+	if f.job.Dataset != d.job.Dataset || f.job.VarID != d.job.VarID {
+		return false
+	}
+	// Leave expired jobs for the head-of-queue deadline drop.
+	if p.Job.Deadline > 0 && now > p.Submit+p.Job.Deadline {
+		return false
+	}
+	if f.memoKey == d.memoKey {
+		f.gen = d.gen
+		p.Start = now
+		p.CoalescedWith = jr
+		d.waiters = append(d.waiters, p)
+		if ot := c.obs; ot != nil {
+			ot.SetThreadName(0, p.pid-1, "job "+p.Job.Name)
+			ot.Instant(0, p.pid-1, "memo-wait", "sched", now,
+				obs.S("job", p.Job.Name), obs.S("donor", jr.Job.Name))
+		}
+		return true
+	}
+	// Coalescing requires both jobs on the collective-computing path: the
+	// fused pass reconstructs subsets inside the donor's aggregator
+	// iterations.
+	if d.job.Block || f.job.Block {
+		return false
+	}
+	op := f.job.Op
+	switch {
+	case f.shapeKey == d.shapeKey && f.job.Reduce == d.job.Reduce:
+		// Exact shape, different operator: the fused component replays the
+		// follower's own absorb/merge order — any operator is safe.
+	case cc.OrderInvariant(op) && slabContained(f.job.Slab, d.job.Slab):
+		// Contained window, order-invariant operator: fold order cannot
+		// change the bits. Restrict to the follower's window unless the
+		// slabs coincide.
+		if !slabEqual(f.job.Slab, d.job.Slab) {
+			op = cc.WindowOp{Op: op, Window: f.job.Slab}
+		}
+	default:
+		return false
+	}
+	f.gen = d.gen
+	p.Start = now
+	p.CoalescedWith = jr
+	d.followers = append(d.followers, p)
+	out := f.out
+	d.consumers = append(d.consumers, cc.Consumer{
+		Op:         op,
+		SecPerElem: f.job.SecPerElem,
+		OnResult:   func(res cc.Result) { out.Res = res },
+	})
+	if ot := c.obs; ot != nil {
+		ot.SetThreadName(0, p.pid-1, "job "+p.Job.Name)
+		ot.Instant(0, p.pid-1, "coalesce-attach", "sched", now,
+			obs.S("job", p.Job.Name), obs.S("donor", jr.Job.Name),
+			obs.I("bytes_saved", f.bytes))
+	}
+	return true
+}
+
+// memoComplete finishes the memo layer's bookkeeping when donor jr
+// completes: cache its result (and each follower's), complete every attached
+// waiter and follower, and unregister the in-flight entry. Donor errors
+// propagate to every attached job.
+func (c *Cluster) memoComplete(jr *JobResult, now float64) {
+	if c.memo == nil || jr.cc == nil {
+		return
+	}
+	meta := jr.cc
+	if c.memo.running[meta.memoKey] == jr {
+		delete(c.memo.running, meta.memoKey)
+	}
+	if jr.Err == nil {
+		c.memo.entries[entryKey(meta.gen, meta.memoKey)] =
+			memoEntry{res: meta.out.Res, ds: meta.job.Dataset}
+	}
+	for _, w := range meta.waiters {
+		w.cc.out.Res = meta.out.Res
+		c.memo.stats.Waiters++
+		c.memo.stats.BytesSaved += w.cc.bytes
+		c.finishShared(jr, w, "waiter", now)
+	}
+	for _, f := range meta.followers {
+		c.memo.stats.Coalesced++
+		c.memo.stats.BytesSaved += f.cc.bytes
+		if jr.Err == nil {
+			c.memo.entries[entryKey(f.cc.gen, f.cc.memoKey)] =
+				memoEntry{res: f.cc.out.Res, ds: f.cc.job.Dataset}
+		}
+		c.finishShared(jr, f, "coalesced", now)
+	}
+}
+
+// finishShared stamps a waiter or coalesced follower complete at the donor's
+// completion time, propagating the donor's error if it failed.
+func (c *Cluster) finishShared(donor, p *JobResult, kind string, now float64) {
+	p.End = now
+	if donor.Err != nil {
+		p.Err = fmt.Errorf("shared with job %q: %w", donor.Job.Name, donor.Err)
+		p.cc.out.Res = cc.Result{}
+	}
+	if p.Job.Deadline > 0 && now > p.Submit+p.Job.Deadline {
+		p.DeadlineMiss = true
+	}
+	if p.session != nil {
+		p.session.stats.Add(p.Stats)
+	}
+	if ot := c.obs; ot != nil {
+		ot.Span(0, p.pid-1, "queued", "sched", p.Submit, p.Start,
+			obs.S("job", p.Job.Name))
+		ot.Span(0, p.pid-1, kind, "sched", p.Start, now,
+			obs.S("job", p.Job.Name), obs.S("donor", donor.Job.Name))
+		m := ot.Metrics()
+		m.Counter("cluster_jobs_completed").Inc()
+		m.Histogram("cluster_turnaround_seconds").Observe(now - p.Submit)
+		if p.DeadlineMiss {
+			m.Counter("cluster_deadline_misses").Inc()
+		}
+	}
+}
+
+// slabEqual reports whether a and b cover the same region.
+func slabEqual(a, b layout.Slab) bool {
+	if len(a.Start) != len(b.Start) {
+		return false
+	}
+	for d := range a.Start {
+		if a.Start[d] != b.Start[d] || a.Count[d] != b.Count[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// slabContained reports whether inner lies entirely within outer.
+func slabContained(inner, outer layout.Slab) bool {
+	if len(inner.Start) != len(outer.Start) {
+		return false
+	}
+	for d := range inner.Start {
+		if inner.Start[d] < outer.Start[d] ||
+			inner.Start[d]+inner.Count[d] > outer.Start[d]+outer.Count[d] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/climate"
+	"repro/internal/layout"
+)
+
+// newMemoCluster builds newCCCluster's machine with the result cache toggled.
+func newMemoCluster(t *testing.T, ranks, maxConc int, memo bool) *Cluster {
+	t.Helper()
+	c := New(Spec{Ranks: ranks, RanksPerNode: 2, MaxConcurrent: maxConc, Memo: memo})
+	ds, _, err := climate.NewDataset3D(c.FS(), []int64{16, 32, 32}, 8, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterDataset("climate", ds)
+	return c
+}
+
+func ccOpJob(name string, op cc.Op, red cc.ReduceMode, slab layout.Slab) CCJob {
+	return CCJob{
+		Name: name, Ranks: 4, Dataset: "climate", VarID: 0,
+		Slab: slab, SplitDim: 0, Op: op, Reduce: red, SecPerElem: 10e-9,
+	}
+}
+
+// memoWorkload is the shared cold/warm job mix: a sum donor over the whole
+// variable, an identical duplicate (waiter), an exact-shape MinLoc and two
+// contained-window order-invariant consumers (coalesced followers), a
+// contained-window Sum that must NOT coalesce (order-sensitive, different
+// shape), and a late duplicate of the donor (completed-cache hit when warm).
+func memoWorkload(c *Cluster) []*CCResult {
+	whole := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{16, 32, 32}}
+	window := layout.Slab{Start: []int64{4, 8, 8}, Count: []int64{8, 16, 16}}
+	crs := []*CCResult{
+		c.SubmitCC(ccOpJob("donor-sum", cc.Sum{}, cc.AllToOne, whole)),
+		c.SubmitCC(ccOpJob("dup-sum", cc.Sum{}, cc.AllToOne, whole)),
+		c.SubmitCC(ccOpJob("exact-minloc", cc.MinLoc{}, cc.AllToOne, whole)),
+		c.SubmitCC(ccOpJob("win-hist", cc.Histogram{Lo: 200, Hi: 320, Bins: 12}, cc.AllToOne, window)),
+		c.SubmitCC(ccOpJob("win-min", cc.Min{}, cc.AllToOne, window)),
+		c.SubmitCC(ccOpJob("win-sum", cc.Sum{}, cc.AllToOne, window)),
+	}
+	crs = append(crs, c.SubmitCCAt(1000, ccOpJob("late-dup-sum", cc.Sum{}, cc.AllToOne, whole)))
+	return crs
+}
+
+// TestMemoColdVsWarmBitIdentical is the memoization property test: the same
+// workload with the result cache on must produce, for every job, exactly the
+// bits of the cold run — while serving four of the seven jobs without their
+// own physical pass.
+func TestMemoColdVsWarmBitIdentical(t *testing.T) {
+	run := func(memo bool) ([]*CCResult, float64, MemoStats) {
+		c := newMemoCluster(t, 4, 0, memo)
+		crs := memoWorkload(c)
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return crs, c.Now(), c.MemoStats()
+	}
+	cold, coldSpan, coldStats := run(false)
+	warm, warmSpan, stats := run(true)
+
+	if coldStats != (MemoStats{}) {
+		t.Fatalf("memo-off cluster recorded memo activity: %+v", coldStats)
+	}
+	for i := range cold {
+		name := cold[i].Job.Name
+		if !cold[i].Valid() || !warm[i].Valid() {
+			t.Fatalf("%s: cold valid=%v warm valid=%v (errs %v / %v)",
+				name, cold[i].Valid(), warm[i].Valid(), cold[i].Err, warm[i].Err)
+		}
+		cb, wb := math.Float64bits(cold[i].Res.Value), math.Float64bits(warm[i].Res.Value)
+		if cb != wb {
+			t.Fatalf("%s: warm value %x != cold value %x", name, wb, cb)
+		}
+		if !reflect.DeepEqual(cold[i].Res.State, warm[i].Res.State) {
+			t.Fatalf("%s: warm state %+v != cold state %+v",
+				name, warm[i].Res.State, cold[i].Res.State)
+		}
+	}
+
+	donor := warm[0].JobResult
+	for i, wantDonor := range []bool{false, true, true, true, true, false, false} {
+		got := warm[i].CoalescedWith
+		if wantDonor && got != donor {
+			t.Fatalf("%s: CoalescedWith = %v, want donor", warm[i].Job.Name, got)
+		}
+		if !wantDonor && got != nil {
+			t.Fatalf("%s: CoalescedWith = %q, want nil", warm[i].Job.Name, got.Job.Name)
+		}
+	}
+	if warm[6].CoalescedWith != nil || !warm[6].MemoHit {
+		t.Fatalf("late duplicate: MemoHit=%v CoalescedWith=%v, want cache hit",
+			warm[6].MemoHit, warm[6].CoalescedWith)
+	}
+	if warm[6].Duration() != 0 {
+		t.Fatalf("memo hit occupied the machine for %v", warm[6].Duration())
+	}
+
+	want := MemoStats{Hits: 1, Waiters: 1, Coalesced: 3, Misses: 2}
+	if stats.Hits != want.Hits || stats.Waiters != want.Waiters ||
+		stats.Coalesced != want.Coalesced || stats.Misses != want.Misses {
+		t.Fatalf("memo stats %+v, want counts %+v", stats, want)
+	}
+	if stats.BytesSaved <= 0 {
+		t.Fatalf("BytesSaved = %d, want > 0", stats.BytesSaved)
+	}
+	if warmSpan >= coldSpan {
+		t.Fatalf("warm makespan %v not better than cold %v", warmSpan, coldSpan)
+	}
+}
+
+// TestMemoWaiterWhileDonorRunning covers the in-flight attach path: an
+// identical job arriving after the donor was admitted but before it finishes
+// must attach as a waiter and complete at the donor's completion time with
+// bit-identical results. Run under -race this also exercises concurrent
+// submission bookkeeping.
+func TestMemoWaiterWhileDonorRunning(t *testing.T) {
+	whole := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{16, 32, 32}}
+	c := newMemoCluster(t, 4, 0, true)
+	donor := c.SubmitCC(ccOpJob("donor", cc.Sum{}, cc.AllToOne, whole))
+	// 0.1 ms in: the donor's read phase is still in flight.
+	twin := c.SubmitCCAt(1e-4, ccOpJob("twin", cc.Sum{}, cc.AllToOne, whole))
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !donor.Valid() || !twin.Valid() {
+		t.Fatalf("errs: donor %v twin %v", donor.Err, twin.Err)
+	}
+	if twin.CoalescedWith != donor.JobResult {
+		t.Fatalf("twin.CoalescedWith = %v, want donor", twin.CoalescedWith)
+	}
+	if twin.End != donor.End {
+		t.Fatalf("twin finished at %v, donor at %v — must coincide", twin.End, donor.End)
+	}
+	if donor.End <= 1e-4 {
+		t.Fatal("donor finished before the twin arrived; waiter path not exercised")
+	}
+	if got, want := math.Float64bits(twin.Res.Value), math.Float64bits(donor.Res.Value); got != want {
+		t.Fatalf("twin value %x != donor value %x", got, want)
+	}
+	if st := c.MemoStats(); st.Waiters != 1 || st.Misses != 1 {
+		t.Fatalf("memo stats %+v, want 1 waiter / 1 miss", st)
+	}
+}
+
+// TestMemoInvalidationOnReplace: replacing a dataset bumps its generation and
+// drops its cached results, so a later identical job re-reads instead of
+// being served a stale result; once it completes, the cache serves the new
+// generation again.
+func TestMemoInvalidationOnReplace(t *testing.T) {
+	whole := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{16, 32, 32}}
+	c := newMemoCluster(t, 4, 0, true)
+	first := c.SubmitCC(ccOpJob("first", cc.Sum{}, cc.AllToOne, whole))
+	again := c.SubmitCCAt(1000, ccOpJob("again", cc.Sum{}, cc.AllToOne, whole))
+	third := c.SubmitCCAt(2000, ccOpJob("third", cc.Sum{}, cc.AllToOne, whole))
+	// Republish the dataset (same contents) after the first job completes:
+	// the generation bump alone must force re-execution.
+	c.Env().At(500, func() { c.ReplaceDataset("climate", c.Dataset("climate")) })
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range []*CCResult{first, again, third} {
+		if !cr.Valid() {
+			t.Fatalf("%s: %v", cr.Job.Name, cr.Err)
+		}
+	}
+	if again.MemoHit {
+		t.Fatal("job after ReplaceDataset was served a stale cached result")
+	}
+	if again.Duration() <= 0 {
+		t.Fatal("job after ReplaceDataset did not run a physical pass")
+	}
+	if !third.MemoHit {
+		t.Fatal("second job after ReplaceDataset should hit the new-generation entry")
+	}
+	st := c.MemoStats()
+	if st.Invalidations != 1 || st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("memo stats %+v, want 1 invalidation / 2 misses / 1 hit", st)
+	}
+	if math.Float64bits(first.Res.Value) != math.Float64bits(again.Res.Value) {
+		t.Fatal("identical data produced different results across generations")
+	}
+}
+
+// TestCCResultValid covers the accessor's three regimes: never-run, dropped,
+// and completed.
+func TestCCResultValid(t *testing.T) {
+	var empty CCResult
+	if empty.Valid() {
+		t.Fatal("zero CCResult must not be valid")
+	}
+	whole := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{16, 32, 32}}
+	c := newMemoCluster(t, 4, 1, false)
+	ok := c.SubmitCC(ccOpJob("ok", cc.Sum{}, cc.AllToOne, whole))
+	dropJob := ccOpJob("dropped", cc.Sum{}, cc.AllToOne, whole)
+	dropJob.Deadline = 1e-9 // expires while queued behind "ok"
+	dropped := c.SubmitCC(dropJob)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Valid() {
+		t.Fatalf("completed job not valid: %v", ok.Err)
+	}
+	if dropped.Valid() {
+		t.Fatal("deadline-dropped job must not be valid")
+	}
+	if dropped.Res.State != nil || dropped.Res.Value != 0 {
+		t.Fatalf("dropped job has a result: %+v", dropped.Res)
+	}
+}

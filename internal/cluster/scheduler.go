@@ -52,10 +52,18 @@ type JobResult struct {
 	// Stats accumulates the job's collective-computing accounting (the
 	// default sink of cc.ObjectGetVaraSession).
 	Stats cc.Stats
+	// MemoHit reports the job was completed instantly from the cluster's
+	// result cache (Spec.Memo) without occupying any ranks.
+	MemoHit bool
+	// CoalescedWith, when non-nil, is the donor job this one shared with:
+	// either an identical in-flight job whose result it adopted, or an
+	// overlapping job whose physical pass computed its operator.
+	CoalescedWith *JobResult
 
 	session *Session
 	pid     int        // Perfetto process id (submission index + 1)
 	runSpan obs.SpanID // open "run" span while the job executes
+	cc      *ccMeta    // memo/coalescing metadata; nil for non-CC jobs
 }
 
 // TracePID returns the job's Perfetto process id in trace exports
@@ -242,6 +250,12 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 				}
 				continue
 			}
+			// Serve the head from the result cache (or attach it to an
+			// identical in-flight job) before spending ranks on it.
+			if c.memoTryComplete(jr, now) {
+				c.pending = c.pending[1:]
+				continue
+			}
 			if j.Ranks > nfree ||
 				(c.spec.MaxConcurrent > 0 && running >= c.spec.MaxConcurrent) {
 				break // strict FIFO: the head blocks the queue
@@ -258,6 +272,10 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 			running++
 			jr.Start = now
 			jr.Ranks = members
+			// Register jr as an in-flight donor and fuse any queued jobs
+			// that can ride on its pass; must precede the assignment sends
+			// so the fused consumer list is final before ranks start.
+			c.memoAdmit(jr, now)
 			cache := &adio.PlanCache{}
 			if j.PlanKey != "" {
 				cache = c.PlanCache(j.PlanKey)
@@ -343,6 +361,8 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 				m.Counter("cluster_deadline_misses").Inc()
 			}
 		}
+		// Cache the result and fan it out to attached waiters/followers.
+		c.memoComplete(jr, now)
 	}
 
 	for _, mb := range c.assign {

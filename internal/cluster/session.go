@@ -51,6 +51,15 @@ func (s *Session) SubmitCC(j CCJob) *CCResult {
 	return cr
 }
 
+// SubmitCCAt queues a declarative collective-computing job arriving at
+// virtual time t under this session.
+func (s *Session) SubmitCCAt(t float64, j CCJob) *CCResult {
+	cr := s.c.SubmitCCAt(t, j)
+	cr.JobResult.session = s
+	s.results = append(s.results, cr.JobResult)
+	return cr
+}
+
 // Results returns this session's submissions in submission order.
 func (s *Session) Results() []*JobResult { return s.results }
 

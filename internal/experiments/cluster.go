@@ -17,6 +17,12 @@ type Config struct {
 	Scale float64
 	// Quick shrinks process counts as well, for unit tests and smoke runs.
 	Quick bool
+	// Memo enables the cluster's cross-job result cache and read coalescer
+	// (cluster.Spec.Memo) on experiment machines. The multiuser experiment
+	// measures both settings explicitly and ignores this; for the other
+	// cluster experiments it is a pass-through ablation knob (their job
+	// windows are distinct, so results are unchanged).
+	Memo bool
 	// Obs, when non-nil, is installed on the experiment's measured cluster
 	// (the concurrent run for jobs, the single machine for the figures), so
 	// `ccexp -trace` can export spans and metrics. Nil disables tracing.

@@ -177,6 +177,35 @@ func TestJobsSchedulerBench(t *testing.T) {
 	}
 }
 
+func TestMultiuserMemoization(t *testing.T) {
+	tb := mustRun(t, "multiuser")
+	// The experiment errors internally unless warm results are bit-identical
+	// to cold runs and the warm makespan wins; check the exported gates the
+	// nightly job also reads.
+	if tb.Bench["speedup"] <= 1 {
+		t.Fatalf("memoization speedup %g, want > 1", tb.Bench["speedup"])
+	}
+	if tb.Bench["identical"] != 1 {
+		t.Fatalf("identical gate %g, want 1", tb.Bench["identical"])
+	}
+	if tb.Bench["memo_hits"] < 1 || tb.Bench["memo_waiters"] < 1 || tb.Bench["memo_coalesced"] < 1 {
+		t.Fatalf("all three sharing regimes must engage: %+v", tb.Bench)
+	}
+	if tb.Bench["bytes_saved_mb"] <= 0 {
+		t.Fatalf("bytes saved %g", tb.Bench["bytes_saved_mb"])
+	}
+	for i := range tb.Rows {
+		if tb.Rows[i][4] != "true" {
+			t.Fatalf("row %d not bit-identical: %v", i, tb.Rows[i])
+		}
+	}
+	// Deterministic: the rendered table (timings included) is byte-identical
+	// across runs.
+	if again := mustRun(t, "multiuser"); again.String() != tb.String() {
+		t.Fatalf("multiuser experiment is not deterministic:\n%s\nvs\n%s", tb, again)
+	}
+}
+
 func TestProfileJobs(t *testing.T) {
 	tb := mustRun(t, "profile-jobs")
 	// Every job must show positive service time and a positive phase total.
@@ -206,7 +235,7 @@ func TestAllRegistry(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs", "profile-jobs"} {
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs", "multiuser", "profile-jobs"} {
 		if !ids[want] {
 			t.Fatalf("missing %s", want)
 		}

@@ -203,6 +203,98 @@ func TestFaultedRunDeterminism(t *testing.T) {
 	mustBits(t, "faulted deterministic", v1, sc.truth())
 }
 
+// TestPlanCacheFaultEpochStaleness is the regression test for shared-plan
+// staleness under fault injection: two jobs with the same access shape share
+// one keyed plan cache, but they straddle an OST-straggler window — the first
+// runs while the straggler is active (and rebalances its later rounds with
+// health-weighted file domains), the second runs after recovery. Before the
+// fix the cache keyed multi-round plans by round index alone, so the second
+// job silently reused the first job's straggler-skewed domains; keying by
+// (round, health epoch) forces it to replan. The cache must therefore hold
+// two materially different plans for the same rebalanced round.
+func TestPlanCacheFaultEpochStaleness(t *testing.T) {
+	sc := defaultFaultScenario()
+	cl := cluster.New(cluster.Spec{Ranks: sc.nranks, RanksPerNode: sc.rpn,
+		FS: hopperFS(), MaxConcurrent: 1})
+	plan := &fault.Plan{Seed: 11, Stragglers: []fault.Straggler{
+		{OST: 3, Factor: 8, Onset: 0, Recovery: 2.0},
+	}}
+	plan.Apply(cl.World(), cl.FS())
+	ds, id, err := climate.NewDataset3D(cl.FS(), sc.dims, sc.stripes, sc.stripeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := layout.Slab{Start: []int64{0, 0, 0}, Count: sc.dims}
+	slabs := climate.SplitAlongDim(sub, 1, sc.nranks)
+	aggrs := adio.SpreadAggregators(sc.nranks, sc.naggr)
+	mit := cc.Mitigation{RebalanceRounds: 4, FlagThreshold: 2}
+	cache := &adio.PlanCache{}
+
+	mkJob := func(name string, stats *cc.Stats, val *float64) *cluster.Job {
+		return &cluster.Job{Name: name, Main: func(ctx *cluster.JobContext, r *mpi.Rank) error {
+			me := ctx.Comm().RankOf(r)
+			res, err := cc.ObjectGetVara(r, ctx.Comm(), ctx.Client(r), cc.IO{
+				DS: ds, VarID: id, Slab: slabs[me],
+				Reduce: cc.AllToOne, Aggregators: aggrs,
+				Params:   adio.Params{CB: sc.cb, Pipeline: true, PlanCache: cache},
+				Mitigate: mit, Stats: stats,
+			}, cc.Max{})
+			if me == 0 {
+				*val = res.Value
+			}
+			return err
+		}}
+	}
+	var st1, st2 cc.Stats
+	var v1, v2 float64
+	cl.Submit(mkJob("during-straggler", &st1, &v1))
+	// Arrives well after the straggler recovered at t=2.
+	cl.SubmitAt(10, mkJob("after-recovery", &st2, &v2))
+	if _, err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sc.truth()
+	mustBits(t, "during straggler", v1, want)
+	mustBits(t, "after recovery", v2, want)
+	if st1.Rebalances == 0 {
+		t.Fatalf("first job never rebalanced — the straggler was not observed: %+v", st1)
+	}
+	if st2.Rebalances != 0 {
+		t.Fatalf("second job rebalanced against a recovered OST: %+v", st2)
+	}
+
+	// The same rebalanced round must be cached under two health epochs, with
+	// materially different plans (straggler-weighted vs even domains).
+	byRound := map[int][]*adio.Plan{}
+	for k, p := range cache.KeyedPlans() {
+		byRound[k.Round] = append(byRound[k.Round], p)
+	}
+	split, differ := false, false
+	for round, plans := range byRound {
+		if round > 0 && len(plans) >= 2 {
+			split = true
+			if !reflect.DeepEqual(plans[0], plans[1]) {
+				differ = true
+			}
+		}
+	}
+	if !split {
+		t.Fatalf("no rebalanced round was cached under more than one health epoch: "+
+			"the recovered job reused stale straggler-skewed plans (rounds: %v)",
+			func() []int {
+				var rs []int
+				for r := range byRound {
+					rs = append(rs, r)
+				}
+				return rs
+			}())
+	}
+	if !differ {
+		t.Fatal("every rebalanced round's two epoch plans are identical — " +
+			"the health-weighted replan never changed the file domains")
+	}
+}
+
 // TestFigFaultsDeterministic asserts the rendered experiment output is
 // byte-identical across runs with the same (default) seed.
 func TestFigFaultsDeterministic(t *testing.T) {

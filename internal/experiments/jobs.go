@@ -24,6 +24,7 @@ type jobsSetup struct {
 	dims        []int64
 	win         int64 // time steps per job window
 	spe         float64
+	memo        bool // enable the cluster result cache (Spec.Memo)
 }
 
 func newJobsSetup(cfg Config) jobsSetup {
@@ -31,7 +32,7 @@ func newJobsSetup(cfg Config) jobsSetup {
 	s := jobsSetup{
 		nranks: 64, rpn: 8, jobRanks: 16, njobs: 8,
 		stripes: 40, stripeSize: 4 << 20,
-		spe: 2e-8,
+		spe: 2e-8, memo: cfg.Memo,
 	}
 	steps := int64(4096 * cfg.Scale)
 	ny, nx := int64(256), int64(256)
@@ -49,10 +50,11 @@ func newJobsSetup(cfg Config) jobsSetup {
 	return s
 }
 
-// kind returns job i's analysis. Float64 reductions use AllToOne, whose
-// root-side merge order is fixed by the plan, so values stay bit-identical
-// under cross-job contention; the histogram exercises AllToAll, safe because
-// integer bin counts are order-independent.
+// kind returns job i's analysis, cycling the two reduce modes for coverage.
+// Both are bit-deterministic under cross-job contention: AllToOne merges at
+// the root in plan order, and AllToAll folds shuffled partials in sender-rank
+// order, so even float64 reductions are bit-identical to their solo runs in
+// either mode.
 func (s jobsSetup) kind(i int) (string, cc.Op, cc.ReduceMode) {
 	switch i % 3 {
 	case 0:
@@ -82,7 +84,7 @@ func (s jobsSetup) job(i, ranks int, deadline float64) cluster.CCJob {
 func (s jobsSetup) machine(ranks, maxConc int, ot *obs.Tracer) (*cluster.Cluster, error) {
 	cl := cluster.New(cluster.Spec{
 		Ranks: ranks, RanksPerNode: s.rpn,
-		FS: hopperFS(), MaxConcurrent: maxConc, Obs: ot,
+		FS: hopperFS(), MaxConcurrent: maxConc, Obs: ot, Memo: s.memo,
 	})
 	ds, varid, err := climate.NewDataset3D(cl.FS(), s.dims, s.stripes, s.stripeSize)
 	if err != nil {
@@ -117,7 +119,7 @@ func Jobs(cfg Config) (*Table, error) {
 		if _, err := cl.Run(); err != nil {
 			return nil, err
 		}
-		if cr.Err != nil {
+		if !cr.Valid() {
 			return nil, fmt.Errorf("solo %s: %w", cr.Job.Name, cr.Err)
 		}
 		solos[i] = cr
@@ -140,7 +142,7 @@ func Jobs(cfg Config) (*Table, error) {
 		}
 		misses := 0
 		for _, cr := range crs {
-			if cr.Err != nil {
+			if !cr.Valid() {
 				return nil, 0, 0, fmt.Errorf("%s: %w", cr.Job.Name, cr.Err)
 			}
 			if cr.DeadlineMiss {

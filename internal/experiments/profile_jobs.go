@@ -39,7 +39,7 @@ func ProfileJobs(cfg Config) (*Table, error) {
 	}
 	jrs := make([]*cluster.JobResult, len(crs))
 	for i, cr := range crs {
-		if cr.Err != nil {
+		if !cr.Valid() {
 			return nil, fmt.Errorf("%s: %w", cr.Job.Name, cr.Err)
 		}
 		jrs[i] = cr.JobResult

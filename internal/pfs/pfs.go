@@ -154,6 +154,7 @@ func (fs *FS) Health() *Health { return fs.health }
 type Health struct {
 	lastFactor []float64 // most recently observed service factor per OST
 	timeouts   []int64   // timed-out requests per OST
+	epoch      int64     // bumped on every observation that changes the picture
 }
 
 func newHealth(n int) *Health {
@@ -166,11 +167,22 @@ func newHealth(n int) *Health {
 
 // observe records one request's view of OST i.
 func (h *Health) observe(i int, factor float64, timedOut bool) {
+	if factor != h.lastFactor[i] || timedOut {
+		h.epoch++
+	}
 	h.lastFactor[i] = factor
 	if timedOut {
 		h.timeouts[i]++
 	}
 }
+
+// Epoch returns the health-observation epoch: it increments whenever an
+// observation changes an OST's last-seen service factor (fault onset or
+// recovery) or records a timeout. Consumers that cache decisions derived from
+// health — rebalanced collective-I/O plans, notably — key them by epoch so a
+// decision built against one fault picture is never served under another. On
+// a healthy file system the epoch stays 0, so epoch-keyed caches still share.
+func (h *Health) Epoch() int64 { return h.epoch }
 
 // ObservedFactor returns the most recently observed service factor of OST i
 // (1 if never observed or healthy).
