@@ -19,6 +19,16 @@
 // trace unambiguously describes one run; both files are byte-identical
 // across runs, like the tables. -experiment is a repeatable alias for the
 // positional experiment arguments.
+//
+// The live telemetry plane (see internal/obs and internal/obscli) attaches
+// with -events (streaming JSONL event log, byte-identical across identical
+// runs), -serve (Prometheus-text /metrics plus /healthz and /jobs, served
+// while the run is in flight and until interrupted afterwards), -dash (live
+// terminal dashboard on stderr), and -slo/-slo-strict (declarative SLO rules
+// evaluated at scheduler round boundaries; strict mode exits nonzero if any
+// rule fired). Like -trace, these require exactly one experiment:
+//
+//	ccexp -experiment jobs -events events.jsonl -serve :9090 -slo-strict
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obscli"
 )
 
 // experimentList collects repeated -experiment flags.
@@ -57,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	memo := fl.Bool("memo", false, "enable the cluster result cache + read coalescer on experiment machines (multiuser measures both settings itself)")
 	traceOut := fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) here; needs exactly one experiment")
 	metricsOut := fl.String("metrics", "", "write the metrics-registry dump here; needs exactly one experiment")
+	var tele obscli.Flags
+	tele.Register(fl)
 	var expFlags experimentList
 	fl.Var(&expFlags, "experiment", "experiment to run (repeatable; alias for positional arguments)")
 	fl.Usage = func() {
@@ -90,12 +103,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		runners = append(runners, r)
 	}
-	if (*traceOut != "" || *metricsOut != "") && len(runners) != 1 {
-		fmt.Fprintf(stderr, "ccexp: -trace/-metrics need exactly one experiment (got %d)\n", len(runners))
+	if (*traceOut != "" || *metricsOut != "" || tele.Any()) && len(runners) != 1 {
+		fmt.Fprintf(stderr, "ccexp: -trace/-metrics/-events/-serve/-dash/-slo need exactly one experiment (got %d)\n", len(runners))
 		return 2
 	}
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || tele.Any() {
 		cfg.Obs = obs.New()
+	}
+	plane, err := tele.Attach(cfg.Obs, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccexp: %v\n", err)
+		return 1
 	}
 	for _, r := range runners {
 		start := time.Now()
@@ -127,6 +145,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	viol, err := plane.Finish()
+	if err != nil {
+		fmt.Fprintf(stderr, "ccexp: %v\n", err)
+		return 1
+	}
+	if tele.Strict && len(viol) > 0 {
+		fmt.Fprintf(stderr, "ccexp: %d SLO violation(s) under -slo-strict\n", len(viol))
+		return 1
+	}
+	plane.ServeForever()
 	return 0
 }
 

@@ -205,3 +205,89 @@ func TestBenchDirWritesJSON(t *testing.T) {
 		t.Fatalf("BENCH_jobs.json not deterministic:\n%s\nvs\n%s", j1, j2)
 	}
 }
+
+// TestEventsDeterministic is the telemetry-plane acceptance bar: two
+// identical runs with -events must write byte-identical JSONL logs, with the
+// versioned schema header on line one.
+func TestEventsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the jobs experiment twice")
+	}
+	read := func() string {
+		dir := t.TempDir()
+		ev := filepath.Join(dir, "events.jsonl")
+		code, _, errb := runCmd("-quick", "-experiment", "jobs", "-events", ev)
+		if code != 0 {
+			t.Fatalf("exit %d: %s", code, errb)
+		}
+		b, err := os.ReadFile(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	e1 := read()
+	if !strings.HasPrefix(e1, `{"schema":"repro.events.v1"`) {
+		t.Fatalf("event log missing schema header:\n%.200s", e1)
+	}
+	for _, want := range []string{`"e":"span"`, `"e":"sample"`, `"name":"run"`} {
+		if !strings.Contains(e1, want) {
+			t.Fatalf("event log missing %s events", want)
+		}
+	}
+	if e2 := read(); e1 != e2 {
+		t.Error("event logs not byte-identical across runs")
+	}
+}
+
+// TestSLOStrictFires: an impossible threshold must fire, log an alert event,
+// and turn into a nonzero exit under -slo-strict.
+func TestSLOStrictFires(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the jobs experiment")
+	}
+	dir := t.TempDir()
+	ev := filepath.Join(dir, "events.jsonl")
+	code, _, errb := runCmd("-quick", "-experiment", "jobs", "-events", ev,
+		"-slo", "tight=p99(cluster_queue_wait_seconds)<1e-12", "-slo-strict")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(errb, "SLO tight violated") {
+		t.Fatalf("stderr missing violation: %q", errb)
+	}
+	b, err := os.ReadFile(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"e":"alert"`) || !strings.Contains(string(b), `"name":"tight"`) {
+		t.Fatalf("event log missing alert:\n%.400s", b)
+	}
+}
+
+// TestSLOStrictDefaultsPass: the stock rule set holds on the healthy jobs
+// experiment, so -slo-strict alone exits zero.
+func TestSLOStrictDefaultsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the jobs experiment")
+	}
+	code, _, errb := runCmd("-quick", "-experiment", "jobs", "-slo-strict")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr %q)", code, errb)
+	}
+}
+
+// TestTelemetryNeedsOneExperiment extends the single-experiment guard to the
+// telemetry flags.
+func TestTelemetryNeedsOneExperiment(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-events", filepath.Join(dir, "e.jsonl"), "table1", "fig1"},
+		{"-slo-strict", "all"},
+	} {
+		code, _, errb := runCmd(args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr %q)", args, code, errb)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/ncfile"
 	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/wrf"
 )
 
@@ -88,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut   = fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) of the run here")
 		metricsOut = fl.String("metrics", "", "write the metrics-registry dump here")
 	)
+	var tele obscli.Flags
+	tele.Register(fl)
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -100,9 +103,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("need steps or ny >= procs to split the domain")
 	}
 
+	// finishRun ends either path: write -trace/-metrics, tear down the
+	// telemetry plane, apply -slo-strict, then keep serving under -serve.
 	var ot *obs.Tracer
-	if *traceOut != "" || *metricsOut != "" {
+	var plane *obscli.Plane
+	finishRun := func() int {
+		if code := writeObsOutputs(stderr, fail, ot, *traceOut, *metricsOut); code != 0 {
+			return code
+		}
+		viol, err := plane.Finish()
+		if err != nil {
+			return fail("%v", err)
+		}
+		if tele.Strict && len(viol) > 0 {
+			fmt.Fprintf(stderr, "ccrun: %d SLO violation(s) under -slo-strict\n", len(viol))
+			return 1
+		}
+		plane.ServeForever()
+		return 0
+	}
+
+	if *traceOut != "" || *metricsOut != "" || tele.Any() {
 		ot = obs.New()
+	}
+	var err error
+	if plane, err = tele.Attach(ot, stderr); err != nil {
+		return fail("%v", err)
 	}
 	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn, Obs: ot, Memo: *memo})
 	fs := cl.FS()
@@ -249,7 +275,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "memo: %d hits, %d waiters, %d coalesced, %d physical passes, %.1f MB not re-read\n",
 				st.Hits, st.Waiters, st.Coalesced, st.Misses, float64(st.BytesSaved)/1e6)
 		}
-		return writeObsOutputs(stderr, fail, ot, *traceOut, *metricsOut)
+		return finishRun()
 	}
 
 	var rootRes cc.Result
@@ -284,7 +310,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "mitigation: %d timeouts, %d retries, %.4fs backoff, %d rebalances (%d flagged-slow OSTs)\n",
 			st.IOTimeouts, st.IORetries, st.BackoffSeconds, st.Rebalances, st.FlaggedSlowOSTs)
 	}
-	return writeObsOutputs(stderr, fail, ot, *traceOut, *metricsOut)
+	return finishRun()
 }
 
 // writeObsOutputs writes the -trace and -metrics files (both optional) at the

@@ -169,3 +169,46 @@ func TestFaultSmoke(t *testing.T) {
 		t.Fatalf("faulted run not deterministic:\n--- first\n%s\n--- second\n%s", out1, out2)
 	}
 }
+
+// TestEventsAndSLOSmoke drives the telemetry flags end to end: -events writes
+// a deterministic JSONL log, the stock SLO rules hold on a healthy run, and
+// an impossible rule fires into a nonzero strict exit with an alert in the
+// log.
+func TestEventsAndSLOSmoke(t *testing.T) {
+	read := func(extra ...string) (int, string, string) {
+		dir := t.TempDir()
+		ev := filepath.Join(dir, "events.jsonl")
+		args := append(append([]string{}, smokeArgs...), "-op", "sum", "-events", ev)
+		args = append(args, extra...)
+		code, _, errb := runCmd(args...)
+		b, _ := os.ReadFile(ev)
+		return code, string(b), errb
+	}
+
+	code, e1, errb := read("-slo-strict")
+	if code != 0 {
+		t.Fatalf("healthy strict run: exit %d, stderr %q", code, errb)
+	}
+	if !strings.HasPrefix(e1, `{"schema":"repro.events.v1"`) {
+		t.Fatalf("event log missing schema header:\n%.200s", e1)
+	}
+	for _, want := range []string{`"e":"span"`, `"name":"pfs.read"`} {
+		if !strings.Contains(e1, want) {
+			t.Fatalf("event log missing %s:\n%.400s", want, e1)
+		}
+	}
+	if _, e2, _ := read("-slo-strict"); e1 != e2 {
+		t.Error("event logs not byte-identical across runs")
+	}
+
+	code, ev, errb := read("-slo", "tight=p99(pfs_read_seconds)<1e-12", "-slo-strict")
+	if code != 1 {
+		t.Fatalf("tight strict run: exit %d, want 1 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(errb, "SLO tight violated") {
+		t.Fatalf("stderr missing violation: %q", errb)
+	}
+	if !strings.Contains(ev, `"e":"alert"`) || !strings.Contains(ev, `"name":"tight"`) {
+		t.Fatalf("event log missing alert:\n%.400s", ev)
+	}
+}

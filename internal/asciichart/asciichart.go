@@ -101,6 +101,108 @@ func Line(series []Series, width, height int) string {
 	return b.String()
 }
 
+// blocks are the eight-level block glyphs Spark and Heat quantize into.
+var blocks = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a one-line sparkline, the densest chart this
+// package has: each value maps to one of eight block glyphs scaled between
+// the series min and max. When the series is longer than width, it is
+// downsampled by bucket maxima (peaks survive; a live dashboard cares about
+// spikes, not troughs). A flat series renders at the lowest level.
+func Spark(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = 1
+	}
+	if len(values) > width {
+		down := make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			m := values[lo]
+			for _, v := range values[lo+1 : hi] {
+				m = math.Max(m, v)
+			}
+			down[i] = m
+		}
+		values = down
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(blocks) {
+				level = len(blocks) - 1
+			}
+		}
+		b.WriteRune(blocks[level])
+	}
+	return b.String()
+}
+
+// Heat renders values as a one-line heat strip: like Spark, but scaled
+// against zero (not the series min), so an all-equal hot row renders fully
+// hot rather than fully cold — the reading a per-OST latency heatmap wants.
+// Values are averaged (not peak-sampled) when downsampling: a heat strip
+// shows load, not spikes.
+func Heat(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = 1
+	}
+	if len(values) > width {
+		down := make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			down[i] = sum / float64(hi-lo)
+		}
+		values = down
+	}
+	var max float64
+	for _, v := range values {
+		max = math.Max(max, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		level := 0
+		if max > 0 && v > 0 {
+			level = int(v / max * float64(len(blocks)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(blocks) {
+				level = len(blocks) - 1
+			}
+		}
+		b.WriteRune(blocks[level])
+	}
+	return b.String()
+}
+
 // Bars renders a horizontal bar chart: one row per label, bars scaled to
 // width characters, values printed at the bar ends.
 func Bars(labels []string, values []float64, width int) string {

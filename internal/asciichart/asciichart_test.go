@@ -95,3 +95,53 @@ func TestDeterministic(t *testing.T) {
 		t.Fatal("line chart not deterministic")
 	}
 }
+
+func TestSpark(t *testing.T) {
+	if Spark(nil, 10) != "" {
+		t.Fatal("empty spark not empty")
+	}
+	out := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if out != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp %q", out)
+	}
+	// Flat series renders at the lowest level, no division by zero.
+	if out := Spark([]float64{5, 5, 5}, 3); out != "▁▁▁" {
+		t.Fatalf("flat %q", out)
+	}
+	// Longer than width: downsampled by bucket maxima, peaks survive.
+	long := make([]float64, 100)
+	long[37] = 9 // lone spike
+	out = Spark(long, 10)
+	if len([]rune(out)) != 10 || !strings.ContainsRune(out, '█') {
+		t.Fatalf("downsampled %q", out)
+	}
+}
+
+func TestHeat(t *testing.T) {
+	if Heat(nil, 10) != "" {
+		t.Fatal("empty heat not empty")
+	}
+	// Scaled against zero: an all-equal hot row renders fully hot.
+	if out := Heat([]float64{3, 3, 3}, 3); out != "███" {
+		t.Fatalf("uniform hot %q", out)
+	}
+	if out := Heat([]float64{0, 0}, 2); out != "▁▁" {
+		t.Fatalf("all zero %q", out)
+	}
+	out := Heat([]float64{0, 0.5, 1}, 3)
+	r := []rune(out)
+	if len(r) != 3 || r[0] != '▁' || r[2] != '█' {
+		t.Fatalf("gradient %q", out)
+	}
+	// Downsampling averages.
+	if got := len([]rune(Heat(make([]float64, 100), 12))); got != 12 {
+		t.Fatalf("downsampled width %d", got)
+	}
+}
+
+func TestSparkHeatDeterministic(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if Spark(v, 5) != Spark(v, 5) || Heat(v, 5) != Heat(v, 5) {
+		t.Fatal("block charts not deterministic")
+	}
+}

@@ -62,7 +62,7 @@ func (cr *CCResult) Valid() bool {
 // normalized job shape, its semantic identity keys, and — for admitted
 // donors — the jobs riding on its result or its physical pass.
 type ccMeta struct {
-	job CCJob  // normalized copy (Ranks and CB resolved)
+	job CCJob // normalized copy (Ranks and CB resolved)
 	out *CCResult
 	// shapeKey identifies the access shape (dataset, var, slab, split,
 	// ranks, buffer, block) — also the shared plan-cache key.

@@ -245,6 +245,7 @@ func (c *Cluster) Run() ([]*JobResult, error) {
 		return nil, err
 	}
 	c.finishObs()
+	c.publishTelemetry(c.env.Now(), 0, 0)
 	return c.results, nil
 }
 
@@ -259,7 +260,6 @@ func (c *Cluster) finishObs() {
 	m := ot.Metrics()
 	makespan := c.env.Now()
 	m.Gauge("cluster_makespan_seconds").Set(makespan)
-	m.Counter("cluster_jobs_submitted").Add(float64(len(c.results)))
 	var busy float64
 	for _, jr := range c.results {
 		if d := jr.Duration(); d > 0 {
@@ -270,26 +270,98 @@ func (c *Cluster) finishObs() {
 		m.Gauge("cluster_rank_utilization_pct").
 			Set(100 * busy / (makespan * float64(c.spec.Ranks)))
 	}
+	c.mirrorTotals()
+}
+
+// mirrorTotals syncs the registry's aggregate families with the totals
+// accumulated outside it (fabric and pfs statistics, memo stats). It is
+// idempotent — Counter.Set / Gauge.Set against monotone sources — so the
+// telemetry plane can call it at every publish point and finishObs can call
+// it once more at the end without double counting.
+func (c *Cluster) mirrorTotals() {
+	m := c.obs.Metrics()
+	m.Counter("cluster_jobs_submitted").Set(float64(len(c.results)))
 	net := c.w.Net()
-	m.Counter("mpi_messages").Add(float64(net.Messages))
-	m.Counter("mpi_inter_messages").Add(float64(net.InterMessages))
-	m.Counter("mpi_bytes_on_wire").Add(float64(net.BytesOnWire))
-	m.Counter("mpi_bytes_intra").Add(float64(net.BytesIntra))
-	m.Counter("mpi_degraded_messages").Add(float64(net.DegradedMessages))
-	m.Counter("pfs_read_bytes").Add(float64(c.fs.BytesRead))
-	m.Counter("pfs_write_bytes").Add(float64(c.fs.BytesWritten))
-	m.Counter("pfs_requests").Add(float64(c.fs.Requests))
-	m.Counter("pfs_timeouts").Add(float64(c.fs.Timeouts))
-	m.Counter("pfs_retries").Add(float64(c.fs.Retries))
+	m.Counter("mpi_messages").Set(float64(net.Messages))
+	m.Counter("mpi_inter_messages").Set(float64(net.InterMessages))
+	m.Counter("mpi_bytes_on_wire").Set(float64(net.BytesOnWire))
+	m.Counter("mpi_bytes_intra").Set(float64(net.BytesIntra))
+	m.Counter("mpi_degraded_messages").Set(float64(net.DegradedMessages))
+	m.Counter("pfs_read_bytes").Set(float64(c.fs.BytesRead))
+	m.Counter("pfs_write_bytes").Set(float64(c.fs.BytesWritten))
+	m.Counter("pfs_requests").Set(float64(c.fs.Requests))
+	m.Counter("pfs_timeouts").Set(float64(c.fs.Timeouts))
+	m.Counter("pfs_retries").Set(float64(c.fs.Retries))
 	if c.memo != nil {
+		// Gauges, not counters: MemoStats is a point-in-time cache picture
+		// (dashboard tile + exporter family memo_*), and gauge semantics keep
+		// the family honest if a future cache ever evicts.
 		s := c.memo.stats
-		m.Counter("memo_hits").Add(float64(s.Hits))
-		m.Counter("memo_waiters").Add(float64(s.Waiters))
-		m.Counter("memo_coalesced").Add(float64(s.Coalesced))
-		m.Counter("memo_misses").Add(float64(s.Misses))
-		m.Counter("memo_bytes_saved").Add(float64(s.BytesSaved))
-		m.Counter("memo_invalidations").Add(float64(s.Invalidations))
+		m.Gauge("memo_hits").Set(float64(s.Hits))
+		m.Gauge("memo_waiters").Set(float64(s.Waiters))
+		m.Gauge("memo_coalesced").Set(float64(s.Coalesced))
+		m.Gauge("memo_misses").Set(float64(s.Misses))
+		m.Gauge("memo_bytes_saved").Set(float64(s.BytesSaved))
+		m.Gauge("memo_invalidations").Set(float64(s.Invalidations))
 	}
+}
+
+// publishTelemetry is the telemetry plane's publish point: it syncs the
+// external totals into the registry, evaluates SLO rules, and (when a live
+// cell is installed) publishes a consistent Frame — registry snapshot, job
+// table, per-OST read latency, SLO status — for the HTTP exporter and the
+// dashboard. Called by the scheduler at round boundaries and once more at
+// the end of Run; everything happens at deterministic virtual-clock points,
+// so enabling live telemetry never perturbs results or event logs.
+func (c *Cluster) publishTelemetry(now float64, queueDepth, ranksBusy int) {
+	ot := c.obs
+	if ot == nil {
+		return
+	}
+	live, slo := ot.Live(), ot.SLOEngine()
+	if live == nil && slo == nil {
+		return
+	}
+	c.mirrorTotals()
+	slo.Eval(ot, now)
+	if live == nil {
+		return
+	}
+	jobs := make([]obs.JobState, 0, len(c.results))
+	for _, jr := range c.results {
+		if jr.Submit > now {
+			continue // SubmitAt arrival still in the future
+		}
+		js := obs.JobState{Name: jr.Job.Name, Ranks: jr.Job.Ranks,
+			Submit: jr.Submit, Start: jr.Start, End: jr.End}
+		switch {
+		case jr.Err == ErrDeadlineExpired:
+			js.State = "dropped"
+		case jr.End >= 0 && jr.Err != nil:
+			js.State = "error"
+		case jr.MemoHit:
+			js.State = "memo-hit"
+		case jr.End >= 0 && jr.CoalescedWith != nil:
+			js.State = "coalesced"
+		case jr.End >= 0:
+			js.State = "done"
+		case jr.Start >= 0:
+			js.State = "running"
+		default:
+			js.State = "queued"
+		}
+		jobs = append(jobs, js)
+	}
+	live.Publish(&obs.Frame{
+		Now:        now,
+		QueueDepth: queueDepth,
+		RanksBusy:  ranksBusy,
+		RanksTotal: c.spec.Ranks,
+		Jobs:       jobs,
+		OSTReadLat: c.fs.OSTReadLatency(),
+		Reg:        ot.Metrics().Snapshot(),
+		SLO:        slo.Status(),
+	})
 }
 
 // RunSPMD submits a single job spanning every rank, runs the cluster, and

@@ -315,6 +315,10 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 			break
 		}
 
+		// Round boundary: the admission loop has drained and the scheduler is
+		// about to block — a consistent instant to publish telemetry from.
+		c.publishTelemetry(c.env.Now(), len(c.pending), c.spec.Ranks-nfree)
+
 		m := c.done.Recv(p)
 		d, ok := m.Payload.(doneMsg)
 		if !ok {

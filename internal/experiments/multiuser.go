@@ -112,8 +112,8 @@ func Multiuser(cfg Config) (*Table, error) {
 	}
 
 	t := &Table{
-		ID:    "multiuser",
-		Title: "Multi-User Serving with Result Memoization + Read Coalescing (warm vs cold)",
+		ID:      "multiuser",
+		Title:   "Multi-User Serving with Result Memoization + Read Coalescing (warm vs cold)",
 		Headers: []string{"job", "cold (s)", "warm (s)", "warm path", "identical"},
 	}
 	path := func(cr *cluster.CCResult) string {

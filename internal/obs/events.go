@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the streaming structured event log of the telemetry plane:
+// every span, instant, and counter sample flowing through a Tracer is
+// mirrored — at emission time, in emission order — into an EventSink, and
+// the JSONL serialization of that stream is byte-deterministic: two
+// identical seeded runs produce byte-identical event logs. SLO alerts
+// (slo.go) land in the same stream as "alert" events.
+//
+// Interval samples fed through Tracer.Record (the trace.Tracer hot path,
+// one call per MPI message) are deliberately NOT mirrored: they only
+// accumulate into the rank_time_* registry counters, and logging them would
+// dwarf every other event type.
+
+// EventSchema is the versioned identifier written in the JSONL header line.
+// Bump the suffix when the serialized shape of Event changes
+// incompatibly; readers reject logs whose header names a different schema.
+const EventSchema = "repro.events.v1"
+
+// Event is one record of the structured event log.
+//
+// Types and the fields they carry (unset fields are omitted from JSONL):
+//
+//	"begin"   T PID TID Name Cat Attrs ID — a span opened (ID pairs it with "end"/"attr")
+//	"end"     T ID                        — the span closed
+//	"attr"    ID Attrs                    — attributes appended to a span (no own time)
+//	"span"    T Dur PID TID Name Cat Attrs — a complete span
+//	"instant" T PID TID Name Cat Attrs    — a zero-duration event
+//	"sample"  T Name Value                — one counter-track sample
+//	"alert"   T Name Attrs                — an SLO rule fired (see slo.go)
+type Event struct {
+	E     string  `json:"e"`
+	ID    int     `json:"id,omitempty"`
+	T     float64 `json:"t"`
+	Dur   float64 `json:"dur,omitempty"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Name  string  `json:"name,omitempty"`
+	Cat   string  `json:"cat,omitempty"`
+	Value float64 `json:"value"`
+	Attrs []Attr  `json:"attrs,omitempty"`
+}
+
+// MarshalJSON renders an attribute as a two-element array ["key","val"],
+// preserving attribute order across a JSONL round trip (an object would
+// re-serialize in undefined key order).
+func (a Attr) MarshalJSON() ([]byte, error) {
+	return json.Marshal([2]string{a.Key, a.Val})
+}
+
+// UnmarshalJSON parses the ["key","val"] form written by MarshalJSON.
+func (a *Attr) UnmarshalJSON(b []byte) error {
+	var kv [2]string
+	if err := json.Unmarshal(b, &kv); err != nil {
+		return err
+	}
+	a.Key, a.Val = kv[0], kv[1]
+	return nil
+}
+
+// EventSink receives mirrored tracer events. Implementations must be cheap:
+// Emit is called synchronously on the simulation's critical path.
+type EventSink interface {
+	Emit(e Event)
+}
+
+// efloat renders a float deterministically (shortest round-trip form, same
+// as attribute values built with F).
+func efloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// AppendEventJSON appends e's canonical JSONL serialization (no trailing
+// newline) to dst. The byte layout is a pure function of the Event value —
+// field order fixed, floats in shortest round-trip form, attributes as
+// ordered ["k","v"] pairs — so identical event streams serialize to
+// identical bytes.
+func AppendEventJSON(dst []byte, e Event) []byte {
+	var b strings.Builder
+	b.WriteString(`{"e":`)
+	b.Write(jsonStr(e.E))
+	if e.ID != 0 {
+		b.WriteString(`,"id":`)
+		b.WriteString(strconv.Itoa(e.ID))
+	}
+	if e.E != "attr" {
+		b.WriteString(`,"t":`)
+		b.WriteString(efloat(e.T))
+	}
+	if e.E == "span" {
+		b.WriteString(`,"dur":`)
+		b.WriteString(efloat(e.Dur))
+	}
+	switch e.E {
+	case "begin", "span", "instant":
+		b.WriteString(`,"pid":`)
+		b.WriteString(strconv.Itoa(e.PID))
+		b.WriteString(`,"tid":`)
+		b.WriteString(strconv.Itoa(e.TID))
+	}
+	if e.Name != "" {
+		b.WriteString(`,"name":`)
+		b.Write(jsonStr(e.Name))
+	}
+	if e.Cat != "" {
+		b.WriteString(`,"cat":`)
+		b.Write(jsonStr(e.Cat))
+	}
+	if e.E == "sample" {
+		b.WriteString(`,"value":`)
+		b.WriteString(efloat(e.Value))
+	}
+	if len(e.Attrs) > 0 {
+		b.WriteString(`,"attrs":[`)
+		for i, a := range e.Attrs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(`[`)
+			b.Write(jsonStr(a.Key))
+			b.WriteString(",")
+			b.Write(jsonStr(a.Val))
+			b.WriteString(`]`)
+		}
+		b.WriteString(`]`)
+	}
+	b.WriteString("}")
+	return append(dst, b.String()...)
+}
+
+// JSONLSink streams events as JSON Lines: one header line naming the schema
+// version, then one line per event in emission order. Writes are buffered;
+// call Close (or Flush) before reading the output. The first write error
+// sticks and is reported by Close.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	err error
+	buf []byte
+}
+
+// NewJSONLSink wraps w and writes the schema header immediately.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{bw: bufio.NewWriter(w)}
+	_, s.err = s.bw.WriteString(`{"schema":` + string(jsonStr(EventSchema)) + "}\n")
+	return s
+}
+
+// Emit implements EventSink.
+func (s *JSONLSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendEventJSON(s.buf[:0], e)
+	s.buf = append(s.buf, '\n')
+	_, s.err = s.bw.Write(s.buf)
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Close flushes and returns the first error seen.
+func (s *JSONLSink) Close() error { return s.Flush() }
+
+// ReadEvents parses a JSONL event log produced by JSONLSink: it validates
+// the schema header and returns the events in file order.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("obs: empty event log (missing schema header)")
+	}
+	var hdr struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("obs: bad event-log header: %w", err)
+	}
+	if hdr.Schema != EventSchema {
+		return nil, fmt.Errorf("obs: event log schema %q, want %q", hdr.Schema, EventSchema)
+	}
+	var out []Event
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

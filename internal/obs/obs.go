@@ -76,6 +76,14 @@ type Tracer struct {
 	samples []counterSample
 	curPID  []int // world rank -> bound pid (0 = cluster/unbound)
 	kindCtr [trace.NumKinds]*Counter
+
+	// Telemetry plane (all optional; see events.go, live.go, slo.go). The
+	// sink mirrors spans/instants/counter samples as they are recorded; the
+	// live cell and SLO engine are driven by the cluster at scheduler round
+	// boundaries.
+	sink EventSink
+	live *Live
+	slo  *SLO
 }
 
 // New returns an empty, enabled tracer with a fresh metrics registry.
@@ -106,6 +114,51 @@ func kindSuffix(k trace.Kind) string {
 
 // Enabled reports whether the tracer records anything (false on nil).
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetSink installs an event sink: from now on every span begin/end, complete
+// span, instant, counter sample, and SLO alert recorded through the tracer
+// is mirrored into sink in emission order (see events.go). Nil removes it.
+func (t *Tracer) SetSink(sink EventSink) {
+	if t == nil {
+		return
+	}
+	t.sink = sink
+}
+
+// SetLive installs the live frame cell the owning runtime publishes
+// telemetry snapshots into (see live.go).
+func (t *Tracer) SetLive(l *Live) {
+	if t == nil {
+		return
+	}
+	t.live = l
+}
+
+// Live returns the installed live cell (nil on a nil tracer or when live
+// telemetry is disabled).
+func (t *Tracer) Live() *Live {
+	if t == nil {
+		return nil
+	}
+	return t.live
+}
+
+// SetSLO installs the SLO rule engine the owning runtime evaluates at
+// telemetry publish points (see slo.go).
+func (t *Tracer) SetSLO(s *SLO) {
+	if t == nil {
+		return
+	}
+	t.slo = s
+}
+
+// SLOEngine returns the installed SLO engine (nil when disabled).
+func (t *Tracer) SLOEngine() *SLO {
+	if t == nil {
+		return nil
+	}
+	return t.slo
+}
 
 // Metrics returns the tracer's registry (nil on a nil tracer; the registry's
 // methods are themselves nil-safe).
@@ -170,7 +223,12 @@ func (t *Tracer) Begin(pid, tid int, name, cat string, start float64, attrs ...A
 	}
 	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
 		start: start, end: start - 1, attrs: attrs})
-	return SpanID(len(t.spans))
+	id := SpanID(len(t.spans))
+	if t.sink != nil {
+		t.sink.Emit(Event{E: "begin", ID: int(id), T: start, PID: pid, TID: tid,
+			Name: name, Cat: cat, Attrs: attrs})
+	}
+	return id
 }
 
 // End closes an open span. A zero id is ignored.
@@ -179,6 +237,9 @@ func (t *Tracer) End(id SpanID, end float64) {
 		return
 	}
 	t.spans[id-1].end = end
+	if t.sink != nil {
+		t.sink.Emit(Event{E: "end", ID: int(id), T: end})
+	}
 }
 
 // AddAttr appends attributes to an open or closed span.
@@ -188,6 +249,9 @@ func (t *Tracer) AddAttr(id SpanID, attrs ...Attr) {
 	}
 	sp := &t.spans[id-1]
 	sp.attrs = append(sp.attrs, attrs...)
+	if t.sink != nil {
+		t.sink.Emit(Event{E: "attr", ID: int(id), Attrs: attrs})
+	}
 }
 
 // Span records a complete span on an explicit (pid, tid) track.
@@ -197,6 +261,10 @@ func (t *Tracer) Span(pid, tid int, name, cat string, start, end float64, attrs 
 	}
 	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
 		start: start, end: end, attrs: attrs})
+	if t.sink != nil {
+		t.sink.Emit(Event{E: "span", T: start, Dur: end - start, PID: pid, TID: tid,
+			Name: name, Cat: cat, Attrs: attrs})
+	}
 }
 
 // BeginRank opens a span on rank's current (bound pid, tid = rank) track.
@@ -222,6 +290,10 @@ func (t *Tracer) Instant(pid, tid int, name, cat string, ts float64, attrs ...At
 	}
 	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
 		start: ts, end: ts, attrs: attrs})
+	if t.sink != nil {
+		t.sink.Emit(Event{E: "instant", T: ts, PID: pid, TID: tid,
+			Name: name, Cat: cat, Attrs: attrs})
+	}
 }
 
 // Counter appends one sample of a Perfetto counter track (queue depth,
@@ -231,6 +303,24 @@ func (t *Tracer) Counter(name string, ts, val float64) {
 		return
 	}
 	t.samples = append(t.samples, counterSample{name: name, ts: ts, val: val})
+	if t.sink != nil {
+		t.sink.Emit(Event{E: "sample", T: ts, Name: name, Value: val})
+	}
+}
+
+// Alert records an SLO rule firing: an instant span on the scheduler track
+// (cat "slo", visible in Perfetto) plus an "alert" event in the event log.
+// The span store is appended directly so the alert is not double-mirrored as
+// an "instant" event.
+func (t *Tracer) Alert(name string, ts float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, span{name: name, cat: "slo", pid: 0, tid: 0,
+		start: ts, end: ts, attrs: attrs})
+	if t.sink != nil {
+		t.sink.Emit(Event{E: "alert", T: ts, Name: name, Attrs: attrs})
+	}
 }
 
 // Record implements trace.Tracer: classified rank-time intervals accumulate

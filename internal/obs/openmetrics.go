@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteOpenMetrics renders the registry in the Prometheus text exposition
+// format (the dialect every Prometheus scraper and the OpenMetrics parser in
+// github.com/prometheus/common/expfmt accept): one `# TYPE` line per family,
+// counters and gauges as single samples, histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`. Families are sorted
+// by name within each kind, values use shortest round-trip float formatting,
+// and no wall-clock timestamps are emitted, so rendering the same snapshot
+// twice produces identical bytes.
+//
+// Registry values live on the virtual clock; the /metrics endpoint (live.go)
+// serves snapshots taken at scheduler round boundaries so a scrape never
+// sees a half-updated round.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r != nil {
+		for _, name := range sortedKeys(r.counters) {
+			bw.WriteString("# TYPE " + name + " counter\n")
+			bw.WriteString(name + " " + fnum(r.counters[name].v) + "\n")
+		}
+		for _, name := range sortedKeys(r.gauges) {
+			bw.WriteString("# TYPE " + name + " gauge\n")
+			bw.WriteString(name + " " + fnum(r.gauges[name].v) + "\n")
+		}
+		for _, name := range sortedKeys(r.hists) {
+			h := r.hists[name]
+			bw.WriteString("# TYPE " + name + " histogram\n")
+			var cum int64
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				bw.WriteString(name + `_bucket{le="` + fnum(bound) + `"} ` +
+					strconv.FormatInt(cum, 10) + "\n")
+			}
+			cum += h.counts[len(h.bounds)]
+			bw.WriteString(name + `_bucket{le="+Inf"} ` + strconv.FormatInt(cum, 10) + "\n")
+			bw.WriteString(name + "_sum " + fnum(h.sum) + "\n")
+			bw.WriteString(name + "_count " + strconv.FormatInt(h.n, 10) + "\n")
+		}
+	}
+	return bw.Flush()
+}

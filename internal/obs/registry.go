@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,6 +38,16 @@ func (c *Counter) Add(d float64) {
 
 // Inc adds 1.
 func (c *Counter) Inc() { c.Add(1) }
+
+// Set replaces the running total (no-op on nil). It exists for mirroring
+// totals accumulated outside the registry (pfs byte counts, fabric message
+// counts, memo stats) into it at telemetry publish points: the source is
+// monotone, so the counter still never goes backwards.
+func (c *Counter) Set(v float64) {
+	if c != nil {
+		c.v = v
+	}
+}
 
 // Value returns the current sum (0 on nil).
 func (c *Counter) Value() float64 {
@@ -111,6 +122,56 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.n)
 }
 
+// Quantile estimates the q-quantile (q clamped to [0, 1]) from the bucket
+// counts, Prometheus-style: the target rank q*Count is located in its
+// cumulative bucket and the value is linearly interpolated between the
+// bucket's lower and upper bound (the first bucket interpolates up from 0,
+// which is exact for the non-negative durations and sizes stored here).
+//
+// Sentinels and edge cases, pinned by tests:
+//   - nil or empty histogram: returns NaN — "no data" is distinct from any
+//     real observation, and SLO rules skip NaN rather than fire on it.
+//   - single-sample histogram: every q interpolates inside the one occupied
+//     bucket, so Quantile(q) = lower + q*(upper-lower) of that bucket — an
+//     estimate bounded by the bucket, not the exact observed value (bucket
+//     counts are all a histogram retains).
+//   - rank falls in the implicit +Inf bucket: returns the largest finite
+//     bound (the estimate saturates, as in Prometheus).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, cnt := range h.counts {
+		prev := cum
+		cum += float64(cnt)
+		if cnt == 0 || cum < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: saturate
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		frac := (rank - prev) / float64(cnt)
+		if rank == 0 {
+			frac = 0
+		}
+		return lower + frac*(upper-lower)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
@@ -153,6 +214,67 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// CounterValue looks up a counter by name without creating it.
+func (r *Registry) CounterValue(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		return 0, false
+	}
+	return c.v, true
+}
+
+// GaugeValue looks up a gauge by name without creating it.
+func (r *Registry) GaugeValue(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		return 0, false
+	}
+	return g.v, true
+}
+
+// FindHistogram looks up a histogram by name without creating it (nil when
+// absent), so read-only consumers (SLO rules, dashboards) never pollute the
+// registry with empty series.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+// Snapshot returns a deep copy of the registry: a consistent point-in-time
+// view that later updates to the live registry can never tear. The telemetry
+// plane publishes one per scheduler round; HTTP scrapes and dashboard frames
+// read only snapshots.
+func (r *Registry) Snapshot() *Registry {
+	if r == nil {
+		return nil
+	}
+	s := NewRegistry()
+	for name, c := range r.counters {
+		s.counters[name] = &Counter{v: c.v}
+	}
+	for name, g := range r.gauges {
+		s.gauges[name] = &Gauge{v: g.v}
+	}
+	for name, h := range r.hists {
+		cp := &Histogram{
+			bounds: h.bounds, // fixed at creation, safe to share
+			counts: append([]int64(nil), h.counts...),
+			n:      h.n,
+			sum:    h.sum,
+		}
+		s.hists[name] = cp
+	}
+	return s
 }
 
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

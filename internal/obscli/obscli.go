@@ -1,0 +1,188 @@
+// Package obscli wires the telemetry plane (internal/obs) into a CLI: it
+// registers the shared flag set (-events, -serve, -dash, -slo, -slo-strict),
+// attaches the requested sinks to a tracer before the run, and tears them
+// down — flushing the event log, rendering the final dashboard frame,
+// reporting SLO violations — after it. Both ccexp and ccrun use it, so the
+// two commands expose identical telemetry surfaces.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RuleList collects repeated -slo flags.
+type RuleList []string
+
+// String implements flag.Value.
+func (l *RuleList) String() string { return fmt.Sprint([]string(*l)) }
+
+// Set implements flag.Value.
+func (l *RuleList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+// Flags is the telemetry flag set shared by the CLIs.
+type Flags struct {
+	Events string
+	Serve  string
+	Dash   bool
+	Rules  RuleList
+	Strict bool
+}
+
+// Register installs the telemetry flags on fl.
+func (f *Flags) Register(fl *flag.FlagSet) {
+	fl.StringVar(&f.Events, "events", "",
+		"write the structured JSONL event log here (byte-identical across identical runs)")
+	fl.StringVar(&f.Serve, "serve", "",
+		"serve live telemetry (/metrics, /healthz, /jobs) on this address, e.g. :9090; keeps serving after the run until interrupted")
+	fl.BoolVar(&f.Dash, "dash", false,
+		"render a live terminal dashboard to stderr while the run is in flight")
+	fl.Var(&f.Rules, "slo",
+		"SLO rule \"[name=]expr OP bound\" (repeatable; see internal/obs — with -slo-strict alone, the default rule set applies)")
+	fl.BoolVar(&f.Strict, "slo-strict", false,
+		"evaluate SLO rules during the run and exit nonzero if any fired")
+}
+
+// Any reports whether any telemetry flag was set — the signal to install an
+// obs.Tracer even when -trace/-metrics did not ask for one.
+func (f *Flags) Any() bool {
+	return f.Events != "" || f.Serve != "" || f.Dash || len(f.Rules) > 0 || f.Strict
+}
+
+// dashInterval is the wall-clock dashboard refresh period. Refreshes are
+// wall-clock (the virtual clock is owned by the run), which is fine: the
+// dashboard only reads published frames, never influences the run.
+const dashInterval = 250 * time.Millisecond
+
+// Plane is the attached telemetry plane of one run. Create with
+// Flags.Attach, call Finish exactly once after the run.
+type Plane struct {
+	sink       *obs.JSONLSink
+	eventsFile *os.File
+	live       *obs.Live
+	slo        *obs.SLO
+	ln         net.Listener
+	dashStop   chan struct{}
+	dashDone   chan struct{}
+	stderr     io.Writer
+}
+
+// Attach installs the requested telemetry components on ot and starts the
+// background consumers (HTTP server, dashboard ticker). On error everything
+// already opened is torn down.
+func (f *Flags) Attach(ot *obs.Tracer, stderr io.Writer) (*Plane, error) {
+	p := &Plane{stderr: stderr}
+	fail := func(err error) (*Plane, error) {
+		if p.eventsFile != nil {
+			p.eventsFile.Close()
+		}
+		if p.ln != nil {
+			p.ln.Close()
+		}
+		return nil, err
+	}
+	if f.Events != "" {
+		file, err := os.Create(f.Events)
+		if err != nil {
+			return fail(err)
+		}
+		p.eventsFile = file
+		p.sink = obs.NewJSONLSink(file)
+		ot.SetSink(p.sink)
+	}
+	if len(f.Rules) > 0 || f.Strict {
+		rules := make([]obs.SLORule, 0, len(f.Rules))
+		for _, s := range f.Rules {
+			r, err := obs.ParseSLORule(s)
+			if err != nil {
+				return fail(err)
+			}
+			rules = append(rules, r)
+		}
+		p.slo = obs.NewSLO(rules...)
+		ot.SetSLO(p.slo)
+	}
+	if f.Serve != "" || f.Dash {
+		p.live = obs.NewLive()
+		ot.SetLive(p.live)
+	}
+	if f.Serve != "" {
+		ln, err := net.Listen("tcp", f.Serve)
+		if err != nil {
+			return fail(err)
+		}
+		p.ln = ln
+		go http.Serve(ln, obs.TelemetryHandler(p.live))
+		fmt.Fprintf(stderr, "(telemetry: serving /metrics /healthz /jobs on http://%s)\n", ln.Addr())
+	}
+	if f.Dash {
+		p.dashStop = make(chan struct{})
+		p.dashDone = make(chan struct{})
+		go func() {
+			defer close(p.dashDone)
+			tick := time.NewTicker(dashInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-p.dashStop:
+					return
+				case <-tick.C:
+					// Clear + home so the dashboard redraws in place.
+					fmt.Fprint(stderr, "\033[H\033[2J"+obs.RenderDashboard(p.live))
+				}
+			}
+		}()
+	}
+	return p, nil
+}
+
+// Finish tears the plane down after the run: stops the dashboard (rendering
+// the final frame once more, plainly), flushes and closes the event log, and
+// prints SLO violations to stderr. It returns the violations — the caller
+// decides what -slo-strict means for its exit code — and the first event-log
+// write error.
+func (p *Plane) Finish() ([]obs.SLOViolation, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if p.dashStop != nil {
+		close(p.dashStop)
+		<-p.dashDone
+		fmt.Fprint(p.stderr, obs.RenderDashboard(p.live))
+	}
+	var err error
+	if p.sink != nil {
+		err = p.sink.Close()
+		if cerr := p.eventsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			err = fmt.Errorf("events: %w", err)
+		}
+	}
+	viol := p.slo.Violations()
+	for _, v := range viol {
+		fmt.Fprintf(p.stderr, "(%s)\n", v)
+	}
+	return viol, err
+}
+
+// ServeForever blocks when -serve was given, so the final frame stays
+// scrapeable until the process is interrupted. A no-op otherwise.
+func (p *Plane) ServeForever() {
+	if p == nil || p.ln == nil {
+		return
+	}
+	fmt.Fprintf(p.stderr, "(telemetry: run complete; still serving on http://%s — interrupt to exit)\n", p.ln.Addr())
+	select {}
+}

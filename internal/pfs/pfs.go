@@ -70,6 +70,11 @@ type FS struct {
 	health *Health
 	obs    *obs.Tracer // nil = span tracing disabled (zero-cost fast path)
 
+	// Per-OST read-latency accumulation (queueing + service of the served
+	// attempt, per stripe piece), feeding the telemetry dashboard's heatmap.
+	ostReadSec []float64
+	ostReads   []int64
+
 	// Stats.
 	BytesRead    int64
 	BytesWritten int64
@@ -87,6 +92,8 @@ func New(env *sim.Env, p Params) *FS {
 	fs.osts = make([]*sim.Resource, p.NumOSTs)
 	fs.slow = make([][]slowWindow, p.NumOSTs)
 	fs.health = newHealth(p.NumOSTs)
+	fs.ostReadSec = make([]float64, p.NumOSTs)
+	fs.ostReads = make([]int64, p.NumOSTs)
 	for i := range fs.osts {
 		fs.osts[i] = env.NewResource(fmt.Sprintf("ost%d", i))
 	}
@@ -198,6 +205,20 @@ func (h *Health) Flagged(threshold float64) []int {
 	for i, f := range h.lastFactor {
 		if f >= threshold {
 			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OSTReadLatency returns each OST's mean observed read latency (queueing
+// plus service per stripe piece, virtual seconds; 0 for OSTs that served no
+// reads). This is the dashboard heatmap's input: a straggling OST shows up
+// as a hot cell because queueing and the slow factor both stretch its mean.
+func (fs *FS) OSTReadLatency() []float64 {
+	out := make([]float64, len(fs.osts))
+	for i := range out {
+		if fs.ostReads[i] > 0 {
+			out[i] = fs.ostReadSec[i] / float64(fs.ostReads[i])
 		}
 	}
 	return out
@@ -371,6 +392,10 @@ type Client struct {
 	tracer trace.Tracer
 	obs    *obs.Tracer // copied from the FS at creation; nil = disabled
 	policy ReadPolicy
+	// Latency histogram handles, created once at client creation so the
+	// per-request hot path is a direct Observe, not a map lookup. Nil when
+	// obs is disabled (Observe on nil no-ops, but we still gate on cl.obs).
+	histRead, histWrite *obs.Histogram
 
 	// Retry counts this client's timeout/retry activity under its ReadPolicy.
 	Retry RetryStats
@@ -381,7 +406,13 @@ func (fs *FS) Client(proc *sim.Proc, rank int, tracer trace.Tracer) *Client {
 	if tracer == nil {
 		tracer = trace.Nop{}
 	}
-	return &Client{fs: fs, proc: proc, rank: rank, tracer: tracer, obs: fs.obs}
+	cl := &Client{fs: fs, proc: proc, rank: rank, tracer: tracer, obs: fs.obs}
+	if fs.obs != nil {
+		reg := fs.obs.Metrics()
+		cl.histRead = reg.Histogram("pfs_read_seconds")
+		cl.histWrite = reg.Histogram("pfs_write_seconds")
+	}
+	return cl
 }
 
 // SetReadPolicy installs (or, with the zero value, removes) a read
@@ -427,6 +458,10 @@ func (cl *Client) reserveAll(f *File, off, n int64, issueAt float64, read bool) 
 			}
 			_, pieceEnd := cl.fs.osts[i].Reserve(at, svc)
 			cl.fs.health.observe(i, factor, false)
+			if read {
+				cl.fs.ostReadSec[i] += pieceEnd - at
+				cl.fs.ostReads[i]++
+			}
 			if pieceEnd > end {
 				end = pieceEnd
 			}
@@ -479,6 +514,9 @@ func (cl *Client) transfer(f *File, buf []byte, off int64, write bool) float64 {
 		name := "pfs.read"
 		if write {
 			name = "pfs.write"
+			cl.histWrite.Observe(cl.proc.Now() - t0)
+		} else {
+			cl.histRead.Observe(cl.proc.Now() - t0)
 		}
 		ot.SpanRank(cl.rank, name, "pfs", t0, cl.proc.Now(),
 			obs.I("bytes", int64(len(buf))), obs.I("pieces", int64(npieces)),
@@ -509,8 +547,11 @@ func (cl *Client) ReadAsync(f *File, buf []byte, off int64) (done float64) {
 	cl.tracer.Record(cl.rank, trace.Sys, t0, cl.proc.Now())
 	// The span covers only the issue portion: the rank is free until AwaitIO,
 	// so a span spanning the full service time would overlap whatever the
-	// rank does in between on the same trace track.
+	// rank does in between on the same trace track. The latency histogram
+	// still records issue-to-data-arrival, the read latency an SLO cares
+	// about.
 	if ot := cl.obs; ot != nil {
+		cl.histRead.Observe(end - t0)
 		ot.SpanRank(cl.rank, "pfs.read", "pfs", t0, cl.proc.Now(),
 			obs.I("bytes", int64(len(buf))), obs.I("pieces", int64(npieces)),
 			obs.I("timeouts", cl.Retry.Timeouts-toBefore),
@@ -571,6 +612,7 @@ func (cl *Client) ReadSparseAsync(f *File, buf []byte, off int64, pieces []layou
 	cl.tracer.Record(cl.rank, trace.Sys, t0, cl.proc.Now())
 	// Issue-portion span only; see ReadAsync.
 	if ot := cl.obs; ot != nil {
+		cl.histRead.Observe(end - t0)
 		ot.SpanRank(cl.rank, "pfs.read", "pfs", t0, cl.proc.Now(),
 			obs.I("bytes", int64(len(buf))), obs.I("pieces", int64(npieces)),
 			obs.I("timeouts", cl.Retry.Timeouts-toBefore),
