@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ccexp [-scale 0.1] [-quick] [-memo] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs|multiuser|profile-jobs ...]
+//	ccexp [-scale 0.1] [-quick] [-memo] [-policy easy-backfill] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs|sched-policies|multiuser|profile-jobs ...]
 //	ccexp -experiment jobs -trace trace.json -metrics metrics.txt
 //
 // With no experiment arguments it lists the available experiments. -scale
@@ -38,8 +38,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obscli"
@@ -66,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fl.Bool("quick", false, "shrink process counts too (smoke test)")
 	benchDir := fl.String("bench-dir", "", "directory to write BENCH_<id>.json metric files to (created if missing)")
 	memo := fl.Bool("memo", false, "enable the cluster result cache + read coalescer on experiment machines (multiuser measures both settings itself)")
+	policy := fl.String("policy", "", "cluster scheduling policy for the queued-workload experiments: "+policyList()+" (\"\" = fifo; sched-policies sweeps all)")
 	traceOut := fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) here; needs exactly one experiment")
 	metricsOut := fl.String("metrics", "", "write the metrics-registry dump here; needs exactly one experiment")
 	var tele obscli.Flags
@@ -88,7 +91,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fl.Usage()
 		return 2
 	}
-	cfg := experiments.Config{Scale: *scale, Quick: *quick, Memo: *memo}
+	if *policy != "" && !knownPolicy(*policy) {
+		fmt.Fprintf(stderr, "ccexp: unknown -policy %q (have %s)\n", *policy, policyList())
+		return 2
+	}
+	cfg := experiments.Config{Scale: *scale, Quick: *quick, Memo: *memo, Policy: *policy}
 
 	var runners []experiments.Runner
 	for _, a := range rest {
@@ -169,6 +176,19 @@ func writeTrace(path string, ot *obs.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// policyList renders the registered scheduling policies for flag help.
+func policyList() string { return strings.Join(cluster.PolicyNames(), "|") }
+
+// knownPolicy reports whether name is a registered scheduling policy.
+func knownPolicy(name string) bool {
+	for _, p := range cluster.PolicyNames() {
+		if p == name {
+			return true
+		}
+	}
+	return false
 }
 
 // writeBench dumps a table's headline metrics as BENCH_<id>.json. Map keys

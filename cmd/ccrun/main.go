@@ -70,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pipe     = fl.Bool("pipeline", true, "overlap reads with the shuffle")
 		repeat   = fl.Int("repeat", 1, "submit the job N times through the cluster job queue")
 		memo     = fl.Bool("memo", false, "enable the cluster result cache + read coalescer (serves -repeat duplicates from one pass)")
+		policy   = fl.String("policy", "", "scheduling policy for the queued path (-repeat/-memo): fifo|easy-backfill|priority|fairshare")
 
 		// Fault injection (see internal/fault).
 		faultSeed  = fl.Int64("fault-seed", 1, "fault plan PRNG seed")
@@ -130,7 +131,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if plane, err = tele.Attach(ot, stderr); err != nil {
 		return fail("%v", err)
 	}
-	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn, Obs: ot, Memo: *memo})
+	if *policy != "" {
+		known := false
+		for _, p := range cluster.PolicyNames() {
+			known = known || p == *policy
+		}
+		if !known {
+			return fail("unknown -policy %q (have %v)", *policy, cluster.PolicyNames())
+		}
+	}
+	cl := cluster.New(cluster.Spec{Ranks: *procs, RanksPerNode: *rpn, Obs: ot, Memo: *memo, Policy: *policy})
 	fs := cl.FS()
 
 	if *stragglers > 0 || *slowLinks > 0 || *slowRanks > 0 {

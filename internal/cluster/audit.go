@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AuditResults checks a completed run's schedule against the invariants
+// every scheduling policy must preserve, independent of which policy
+// produced it:
+//
+//   - placement sanity: every job that occupied ranks ran on exactly
+//     Job.Ranks distinct world ranks inside the pool;
+//   - no double booking: two jobs never occupy the same rank at the same
+//     time (service intervals on one rank may touch — a job may start the
+//     instant its predecessor ends — but never overlap);
+//   - accounting sanity: occupied intervals are well-formed (Start <= End,
+//     Submit <= Start).
+//
+// results is what Cluster.Run returned; ranks is the pool size
+// (Spec.Ranks). Jobs that never occupied ranks — deadline drops, memo
+// hits, coalesced waiters/followers, never-admitted jobs — are skipped.
+// Returns nil when every invariant holds.
+func AuditResults(results []*JobResult, ranks int) error {
+	type interval struct {
+		start, end float64
+		name       string
+	}
+	perRank := make(map[int][]interval)
+	for _, jr := range results {
+		if len(jr.Ranks) == 0 {
+			continue // dropped, memo-served, coalesced, or never admitted
+		}
+		if jr.Start < 0 || jr.End < 0 {
+			return fmt.Errorf("cluster audit: job %q holds ranks %v but has sentinel timings [%v,%v]",
+				jr.Job.Name, jr.Ranks, jr.Start, jr.End)
+		}
+		if jr.End < jr.Start {
+			return fmt.Errorf("cluster audit: job %q ends %v before it starts %v",
+				jr.Job.Name, jr.End, jr.Start)
+		}
+		if jr.Start < jr.Submit {
+			return fmt.Errorf("cluster audit: job %q admitted at %v before its submission %v",
+				jr.Job.Name, jr.Start, jr.Submit)
+		}
+		if len(jr.Ranks) != jr.Job.Ranks {
+			return fmt.Errorf("cluster audit: job %q needed %d ranks, ran on %d (%v)",
+				jr.Job.Name, jr.Job.Ranks, len(jr.Ranks), jr.Ranks)
+		}
+		seen := make(map[int]bool, len(jr.Ranks))
+		for _, wr := range jr.Ranks {
+			if wr < 0 || wr >= ranks {
+				return fmt.Errorf("cluster audit: job %q placed on rank %d outside pool [0,%d)",
+					jr.Job.Name, wr, ranks)
+			}
+			if seen[wr] {
+				return fmt.Errorf("cluster audit: job %q placed twice on rank %d (%v)",
+					jr.Job.Name, wr, jr.Ranks)
+			}
+			seen[wr] = true
+			perRank[wr] = append(perRank[wr], interval{jr.Start, jr.End, jr.Job.Name})
+		}
+	}
+	for wr, ivs := range perRank {
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].start != ivs[j].start {
+				return ivs[i].start < ivs[j].start
+			}
+			return ivs[i].end < ivs[j].end
+		})
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end {
+				return fmt.Errorf("cluster audit: rank %d double-booked: %q [%v,%v] overlaps %q [%v,%v]",
+					wr, ivs[i-1].name, ivs[i-1].start, ivs[i-1].end,
+					ivs[i].name, ivs[i].start, ivs[i].end)
+			}
+		}
+	}
+	return nil
+}

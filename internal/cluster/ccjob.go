@@ -18,6 +18,8 @@ type CCJob struct {
 	Name     string
 	Ranks    int     // 0 = all
 	Deadline float64 // seconds after submit; 0 = none
+	Priority int     // scheduling priority (see Job.Priority)
+	EstCost  float64 // estimated service seconds (see Job.EstCost)
 	// Dataset names a dataset registered with Cluster.RegisterDataset.
 	Dataset string
 	VarID   int
@@ -118,6 +120,8 @@ func (c *Cluster) prepareCC(j CCJob) (*Job, *CCResult, *ccMeta) {
 		Name:     j.Name,
 		Ranks:    j.Ranks,
 		Deadline: j.Deadline,
+		Priority: j.Priority,
+		EstCost:  j.EstCost,
 		PlanKey:  shape,
 		Main: func(ctx *JobContext, r *mpi.Rank) error {
 			comm := ctx.Comm()

@@ -6,14 +6,16 @@
 // sim.Env; every entry point (examples, cmd/ccrun, internal/experiments)
 // builds its world through cluster.New.
 //
-// Scheduling is FIFO with rank-count fit: the head of the queue is admitted
-// onto the lowest-numbered free ranks as soon as enough are free (and the
-// concurrency cap allows); a head that does not fit blocks the queue — no
-// backfilling, so admission order is deterministic and starvation-free.
-// Each admitted job gets its own mpi tag namespace, so concurrent jobs can
-// never match each other's messages. Jobs carry optional deadlines: a job
-// whose deadline passes while queued is dropped with ErrDeadlineExpired; a
-// job that finishes late is marked DeadlineMiss.
+// Scheduling is pluggable (Spec.Policy, see policy.go): the default "fifo"
+// policy admits the head of the queue onto the lowest-numbered free ranks
+// as soon as enough are free (and the concurrency cap allows), with a head
+// that does not fit blocking the queue; "easy-backfill", "priority", and
+// "fairshare" reorder admission under the same mechanism. Every policy is
+// deterministic and starvation-free on a finite queue. Each admitted job
+// gets its own mpi tag namespace, so concurrent jobs can never match each
+// other's messages. Jobs carry optional deadlines: a job whose deadline
+// passes while queued is dropped with ErrDeadlineExpired; a job that
+// finishes late is marked DeadlineMiss.
 //
 // Everything runs on the virtual clock: the same Spec and job list produce
 // bit-identical per-job results and makespans on every run.
@@ -21,6 +23,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/adio"
 	"repro/internal/cc"
@@ -49,6 +52,11 @@ type Spec struct {
 	// MaxConcurrent caps how many jobs run at once; 0 means unlimited
 	// (bounded only by rank-count fit). 1 serializes the queue.
 	MaxConcurrent int
+	// Policy selects the scheduling policy by registry name: "fifo" (the
+	// default, and the empty-string default), "easy-backfill", "priority",
+	// or "fairshare" — see policy.go and RegisterPolicy. New panics on an
+	// unknown name.
+	Policy string
 	// Memo enables cross-job result memoization and shared-window read
 	// coalescing for CC jobs (see memo.go): identical jobs are served from a
 	// result cache or attached to an in-flight twin, and overlapping jobs
@@ -79,6 +87,10 @@ type Cluster struct {
 	plans    map[string]*adio.PlanCache
 	memo     *memoTable // result cache; nil unless Spec.Memo
 
+	policy       Policy             // admission/placement policy (Spec.Policy)
+	tenantUse    map[string]float64 // rank-seconds of service charged per tenant
+	tenantWeight map[string]float64 // fair-share weights (Session.SetWeight)
+
 	pending    []*JobResult // FIFO admission queue
 	futureSubs int          // SubmitAt callbacks not yet fired
 	results    []*JobResult // every submission, in submission order
@@ -100,7 +112,11 @@ func New(spec Spec) *Cluster {
 		datasets: make(map[string]*ncfile.Dataset),
 		gens:     make(map[string]int),
 		plans:    make(map[string]*adio.PlanCache),
+
+		tenantUse:    make(map[string]float64),
+		tenantWeight: make(map[string]float64),
 	}
+	c.policy = newPolicy(spec.Policy, c)
 	if spec.Memo {
 		c.memo = newMemoTable()
 	}
@@ -269,6 +285,24 @@ func (c *Cluster) finishObs() {
 	if makespan > 0 {
 		m.Gauge("cluster_rank_utilization_pct").
 			Set(100 * busy / (makespan * float64(c.spec.Ranks)))
+	}
+	// Per-tenant delivered-service shares (the fairshare policy's deficit
+	// counters, tracked under every policy): one gauge per tenant, as a
+	// percentage of all delivered rank-seconds.
+	var totUse float64
+	for _, u := range c.tenantUse {
+		totUse += u
+	}
+	if totUse > 0 {
+		tenants := make([]string, 0, len(c.tenantUse))
+		for tn := range c.tenantUse {
+			tenants = append(tenants, tn)
+		}
+		sort.Strings(tenants)
+		for _, tn := range tenants {
+			m.Gauge("cluster_tenant_share_pct_" + metricLabel(tn)).
+				Set(100 * c.tenantUse[tn] / totUse)
+		}
 	}
 	c.mirrorTotals()
 }

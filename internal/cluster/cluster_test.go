@@ -9,6 +9,7 @@ import (
 	"repro/internal/climate"
 	"repro/internal/layout"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // computeJob is a job body burning sec virtual seconds per rank, with a
@@ -76,9 +77,11 @@ func TestConcurrentDisjointSubsets(t *testing.T) {
 }
 
 // TestFIFOHeadBlocks: a wide job at the head must not be overtaken by a
-// narrow job behind it, even when the narrow one would fit.
+// narrow job behind it, even when the narrow one would fit — and the time
+// the blocked jobs spend queued must land in the queue-wait histogram.
 func TestFIFOHeadBlocks(t *testing.T) {
-	c := New(Spec{Ranks: 4, RanksPerNode: 2})
+	ot := obs.New()
+	c := New(Spec{Ranks: 4, RanksPerNode: 2, Obs: ot})
 	first := c.Submit(&Job{Name: "wide0", Ranks: 3, Main: computeJob(1)})
 	wide := c.Submit(&Job{Name: "wide1", Ranks: 3, Main: computeJob(1)})
 	narrow := c.Submit(&Job{Name: "narrow", Ranks: 1, Main: computeJob(1)})
@@ -91,6 +94,23 @@ func TestFIFOHeadBlocks(t *testing.T) {
 	if narrow.Start < wide.Start {
 		t.Fatalf("narrow (submitted after wide1) overtook it: narrow=%v wide1=%v",
 			narrow.Start, wide.Start)
+	}
+	// Telemetry of the blocking: one queue-wait observation per admission,
+	// whose sum is exactly the virtual time the blocked jobs spent queued.
+	h := ot.Metrics().FindHistogram("cluster_queue_wait_seconds")
+	if h == nil {
+		t.Fatal("no cluster_queue_wait_seconds histogram recorded")
+	}
+	if h.Count() != 3 {
+		t.Fatalf("queue-wait observations = %d, want 3 (one per admitted job)", h.Count())
+	}
+	wantWait := wide.QueueWait() + narrow.QueueWait() // wide0 waited 0
+	if h.Sum() != wantWait {
+		t.Fatalf("queue-wait sum = %v, want %v (wide1 %v + narrow %v)",
+			h.Sum(), wantWait, wide.QueueWait(), narrow.QueueWait())
+	}
+	if wide.QueueWait() <= 0 {
+		t.Fatalf("wide1 queue wait %v, want > 0 (it was blocked behind wide0)", wide.QueueWait())
 	}
 }
 

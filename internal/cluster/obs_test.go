@@ -139,6 +139,78 @@ func TestClusterTraceEmission(t *testing.T) {
 	}
 }
 
+// eventCollector is an EventSink that keeps every mirrored event in memory,
+// so tests can assert on instants (which have no iteration API on the
+// tracer itself, unlike spans).
+type eventCollector struct {
+	events []obs.Event
+}
+
+func (ec *eventCollector) Emit(e obs.Event) { ec.events = append(ec.events, e) }
+
+// TestDeadlineDropTelemetry pins the telemetry of a deadline drop: the
+// "deadline-drop" instant carries the job name, the time it waited, and its
+// deadline as span attrs, and the drop/miss counters advance. The waited
+// attr is what dashboards need to distinguish "dropped instantly" from
+// "starved until expiry", which the instant's bare timestamp cannot show.
+func TestDeadlineDropTelemetry(t *testing.T) {
+	ot := obs.New()
+	ec := &eventCollector{}
+	ot.SetSink(ec)
+	c := New(Spec{Ranks: 2, RanksPerNode: 2, MaxConcurrent: 1, Obs: ot})
+	c.Submit(&Job{Name: "long", Main: pureCompute(2)})
+	dropped := c.Submit(&Job{Name: "victim", Deadline: 1, Main: pureCompute(1)})
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(dropped.Err, ErrDeadlineExpired) {
+		t.Fatalf("victim.Err = %v, want ErrDeadlineExpired", dropped.Err)
+	}
+
+	var drops []obs.Event
+	for _, e := range ec.events {
+		if e.E == "instant" && e.Name == "deadline-drop" {
+			drops = append(drops, e)
+		}
+	}
+	if len(drops) != 1 {
+		t.Fatalf("%d deadline-drop instants, want 1", len(drops))
+	}
+	attrs := map[string]string{}
+	for _, a := range drops[0].Attrs {
+		attrs[a.Key] = a.Val
+	}
+	if attrs["job"] != "victim" {
+		t.Errorf(`drop attr job = %q, want "victim"`, attrs["job"])
+	}
+	// The victim queued at 0 and was dropped when the 2s blocker finished.
+	if attrs["waited"] != "2" {
+		t.Errorf(`drop attr waited = %q, want "2"`, attrs["waited"])
+	}
+	if attrs["deadline"] != "1" {
+		t.Errorf(`drop attr deadline = %q, want "1"`, attrs["deadline"])
+	}
+	if drops[0].T != dropped.End {
+		t.Errorf("drop instant at t=%v, want the drop time %v", drops[0].T, dropped.End)
+	}
+
+	m := ot.Metrics()
+	if got, _ := m.CounterValue("cluster_jobs_dropped"); got != 1 {
+		t.Errorf("cluster_jobs_dropped = %v, want 1", got)
+	}
+	if got, _ := m.CounterValue("cluster_deadline_misses"); got != 1 {
+		t.Errorf("cluster_deadline_misses = %v, want 1", got)
+	}
+	// The dropped job never admits, so it must NOT contaminate the
+	// queue-wait histogram (only the blocker's admission observes it).
+	h := m.FindHistogram("cluster_queue_wait_seconds")
+	if h == nil {
+		t.Error("no cluster_queue_wait_seconds histogram recorded")
+	} else if h.Count() != 1 {
+		t.Errorf("cluster_queue_wait_seconds count = %d, want 1 (admitted jobs only)", h.Count())
+	}
+}
+
 // TestTraceDeterminism: the same traced workload exports byte-identical
 // trace JSON and metrics dumps across two runs.
 func TestTraceDeterminism(t *testing.T) {

@@ -28,6 +28,16 @@ type Job struct {
 	// virtual seconds after submission. An expired queued job is dropped
 	// with ErrDeadlineExpired; a late-finishing job is marked DeadlineMiss.
 	Deadline float64
+	// Priority orders admission under the "priority" scheduling policy:
+	// higher-priority jobs are served first (most-urgent deadline, then
+	// FCFS, within a priority). Other policies ignore it.
+	Priority int
+	// EstCost is the job's estimated service time in virtual seconds; 0
+	// means unknown. The "easy-backfill" policy uses it to reserve a start
+	// time for a blocked head job and to prove a backfill candidate cannot
+	// delay that reservation; "fairshare" uses it to charge the owning
+	// tenant's share at admission (trued up to actual at completion).
+	EstCost float64
 	// PlanKey, when non-empty, shares the cluster plan cache registered
 	// under that key (see Cluster.PlanCache); empty gives the job a private
 	// cache.
@@ -69,6 +79,15 @@ type JobResult struct {
 // TracePID returns the job's Perfetto process id in trace exports
 // (submission index + 1; pid 0 is the cluster scheduler).
 func (jr *JobResult) TracePID() int { return jr.pid }
+
+// tenant is the scheduling-policy tenant label: the owning session's name,
+// or "" for jobs submitted directly on the cluster.
+func (jr *JobResult) tenant() string {
+	if jr.session != nil {
+		return jr.session.name
+	}
+	return ""
+}
 
 // Timing accessor sentinels: a job that was never admitted (the cluster
 // errored out, or Run was never called) has Start == -1 and End == -1, and
@@ -217,107 +236,30 @@ func (c *Cluster) worker(r *mpi.Rank) {
 	}
 }
 
-// scheduler admits jobs FIFO onto the lowest-numbered free ranks, collects
-// completions, and shuts the rank pool down once the queue drains.
+// scheduler is the admission/completion loop. The mechanism lives here —
+// rank pool, completion collection, telemetry round boundaries, shutdown —
+// while admission order and placement are delegated to the configured
+// scheduling Policy (Spec.Policy; fifo by default) through a Queue view at
+// every scheduling event.
 func (c *Cluster) scheduler(p *sim.Proc) {
-	free := make([]bool, c.spec.Ranks)
-	for i := range free {
-		free[i] = true
+	q := &Queue{c: c, free: make([]bool, c.spec.Ranks), nfree: c.spec.Ranks}
+	for i := range q.free {
+		q.free[i] = true
 	}
-	nfree := c.spec.Ranks
-	running := 0
 
 	for {
-		// Admit from the head while it fits; an expired head is dropped.
-		for len(c.pending) > 0 {
-			jr := c.pending[0]
-			j := jr.Job
-			now := c.env.Now()
-			if j.Deadline > 0 && now > jr.Submit+j.Deadline {
-				c.pending = c.pending[1:]
-				jr.Start, jr.End = now, now
-				jr.Err = ErrDeadlineExpired
-				jr.DeadlineMiss = true
-				if ot := c.obs; ot != nil {
-					ot.SetThreadName(0, jr.pid-1, "job "+j.Name)
-					ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
-						obs.S("job", j.Name))
-					ot.Instant(0, jr.pid-1, "deadline-drop", "sched", now,
-						obs.S("job", j.Name))
-					m := ot.Metrics()
-					m.Counter("cluster_jobs_dropped").Inc()
-					m.Counter("cluster_deadline_misses").Inc()
-				}
-				continue
-			}
-			// Serve the head from the result cache (or attach it to an
-			// identical in-flight job) before spending ranks on it.
-			if c.memoTryComplete(jr, now) {
-				c.pending = c.pending[1:]
-				continue
-			}
-			if j.Ranks > nfree ||
-				(c.spec.MaxConcurrent > 0 && running >= c.spec.MaxConcurrent) {
-				break // strict FIFO: the head blocks the queue
-			}
-			c.pending = c.pending[1:]
-			members := make([]int, 0, j.Ranks)
-			for wr := 0; wr < c.spec.Ranks && len(members) < j.Ranks; wr++ {
-				if free[wr] {
-					free[wr] = false
-					members = append(members, wr)
-				}
-			}
-			nfree -= j.Ranks
-			running++
-			jr.Start = now
-			jr.Ranks = members
-			// Register jr as an in-flight donor and fuse any queued jobs
-			// that can ride on its pass; must precede the assignment sends
-			// so the fused consumer list is final before ranks start.
-			c.memoAdmit(jr, now)
-			cache := &adio.PlanCache{}
-			if j.PlanKey != "" {
-				cache = c.PlanCache(j.PlanKey)
-			}
-			ctx := &JobContext{
-				cluster: c, job: j, res: jr,
-				comm:    c.w.SubNS(c.w.NewNamespace(), members),
-				cache:   cache,
-				clients: make([]*pfs.Client, len(members)),
-				errs:    make([]error, len(members)),
-				left:    len(members),
-			}
-			if ot := c.obs; ot != nil {
-				ot.SetProcessName(jr.pid, fmt.Sprintf("job %d: %s", jr.pid-1, j.Name))
-				ot.SetThreadName(0, jr.pid-1, "job "+j.Name)
-				ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
-					obs.S("job", j.Name))
-				jr.runSpan = ot.Begin(0, jr.pid-1, "run", "sched", now,
-					obs.S("job", j.Name), obs.I("ranks", int64(len(members))),
-					obs.I("first_rank", int64(members[0])))
-				for _, wr := range members {
-					ot.BindRank(wr, jr.pid)
-					ot.SetThreadName(jr.pid, wr, fmt.Sprintf("rank %d", wr))
-				}
-				ot.Counter("cluster_queue_depth", now, float64(len(c.pending)))
-				ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-nfree))
-				m := ot.Metrics()
-				m.Counter("cluster_jobs_admitted").Inc()
-				m.Histogram("cluster_queue_wait_seconds").Observe(now - jr.Submit)
-			}
-			for _, wr := range members {
-				c.assign[wr].Send(ctx, 0, now)
-			}
-		}
+		// One admission round: the policy drops expired jobs it considers,
+		// serves what it can from the memo layer, and starts every pending
+		// job it decides should run now.
+		c.policy.Admit(q)
 
-		if running == 0 && len(c.pending) == 0 && c.futureSubs == 0 {
+		if len(q.running) == 0 && len(c.pending) == 0 && c.futureSubs == 0 {
 			break
 		}
 
-		// Round boundary: the admission loop has drained and the scheduler is
+		// Round boundary: the admission round is over and the scheduler is
 		// about to block — a consistent instant to publish telemetry from.
-		c.publishTelemetry(c.env.Now(), len(c.pending), c.spec.Ranks-nfree)
+		c.publishTelemetry(c.env.Now(), len(c.pending), c.spec.Ranks-q.nfree)
 
 		m := c.done.Recv(p)
 		d, ok := m.Payload.(doneMsg)
@@ -340,11 +282,7 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 		if jr.session != nil {
 			jr.session.stats.Add(jr.Stats)
 		}
-		for _, wr := range jr.Ranks {
-			free[wr] = true
-		}
-		nfree += len(jr.Ranks)
-		running--
+		q.complete(jr)
 		if ot := c.obs; ot != nil {
 			ot.End(jr.runSpan, now)
 			if jr.Err != nil {
@@ -356,7 +294,7 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 			for _, wr := range jr.Ranks {
 				ot.UnbindRank(wr)
 			}
-			ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-nfree))
+			ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-q.nfree))
 			m := ot.Metrics()
 			m.Counter("cluster_jobs_completed").Inc()
 			m.Histogram("cluster_service_seconds").Observe(jr.End - jr.Start)

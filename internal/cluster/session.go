@@ -1,6 +1,10 @@
 package cluster
 
-import "repro/internal/cc"
+import (
+	"fmt"
+
+	"repro/internal/cc"
+)
 
 // Session is a named handle onto the cluster's job queue: a client's view of
 // its own submissions. Jobs submitted through different sessions share the
@@ -23,6 +27,20 @@ func (c *Cluster) Session(name string) *Session {
 
 // Name returns the session label.
 func (s *Session) Name() string { return s.name }
+
+// SetWeight sets the session's fair-share weight (default 1): under the
+// "fairshare" scheduling policy, a tenant of weight w is entitled to a
+// w-proportional slice of delivered service, so its jobs are preferred
+// until its weight-normalized charge catches up. Panics unless w > 0;
+// returns s for chaining. Sessions sharing a name share the weight (last
+// call wins).
+func (s *Session) SetWeight(w float64) *Session {
+	if w <= 0 {
+		panic(fmt.Sprintf("cluster: session %q fair-share weight %v (must be > 0)", s.name, w))
+	}
+	s.c.tenantWeight[s.name] = w
+	return s
+}
 
 // Cluster returns the underlying machine.
 func (s *Session) Cluster() *Cluster { return s.c }

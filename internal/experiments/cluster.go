@@ -27,6 +27,11 @@ type Config struct {
 	// (the concurrent run for jobs, the single machine for the figures), so
 	// `ccexp -trace` can export spans and metrics. Nil disables tracing.
 	Obs *obs.Tracer
+	// Policy selects the cluster scheduling policy (cluster.Spec.Policy) for
+	// the queued-workload experiments (jobs, multiuser use it on their
+	// shared machines); "" keeps the default fifo. The sched-policies
+	// experiment ignores it — it sweeps every registered policy.
+	Policy string
 }
 
 // Defaults fills unset fields.

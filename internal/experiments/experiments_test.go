@@ -177,6 +177,44 @@ func TestJobsSchedulerBench(t *testing.T) {
 	}
 }
 
+func TestSchedPolicies(t *testing.T) {
+	tb := mustRun(t, "sched-policies")
+	// The experiment errors internally unless easy-backfill strictly beats
+	// fifo's makespan with backfills and no policy drops a job; check the
+	// exported bench keys the nightly gate also reads.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d rows, want one per policy", len(tb.Rows))
+	}
+	for _, key := range []string{"makespan_fifo", "makespan_easy_backfill",
+		"p99_wait_fifo", "p99_wait_easy_backfill", "p99_wait_priority",
+		"p99_wait_fairshare", "jain_fifo", "jain_easy_backfill",
+		"jain_priority", "jain_fairshare", "backfilled_easy_backfill"} {
+		if _, ok := tb.Bench[key]; !ok {
+			t.Fatalf("bench missing %q: %+v", key, tb.Bench)
+		}
+	}
+	if tb.Bench["makespan_easy_backfill"] >= tb.Bench["makespan_fifo"] {
+		t.Fatalf("easy-backfill makespan %g did not beat fifo %g",
+			tb.Bench["makespan_easy_backfill"], tb.Bench["makespan_fifo"])
+	}
+	if tb.Bench["jain_easy_backfill"] < tb.Bench["jain_fifo"] ||
+		tb.Bench["jain_fairshare"] < tb.Bench["jain_fifo"] {
+		t.Fatalf("fairness regressed vs fifo: %+v", tb.Bench)
+	}
+	if tb.Bench["backfilled_easy_backfill"] < 1 {
+		t.Fatalf("no backfills: %+v", tb.Bench)
+	}
+	for _, pol := range []string{"fifo", "easy_backfill", "priority", "fairshare"} {
+		if j := tb.Bench["jain_"+pol]; j <= 0 || j > 1 {
+			t.Fatalf("jain_%s = %g outside (0,1]", pol, j)
+		}
+	}
+	// Deterministic: the rendered table is byte-identical across runs.
+	if again := mustRun(t, "sched-policies"); again.String() != tb.String() {
+		t.Fatalf("sched-policies not deterministic:\n%s\nvs\n%s", tb, again)
+	}
+}
+
 func TestMultiuserMemoization(t *testing.T) {
 	tb := mustRun(t, "multiuser")
 	// The experiment errors internally unless warm results are bit-identical
@@ -235,7 +273,7 @@ func TestAllRegistry(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs", "multiuser", "profile-jobs"} {
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs", "sched-policies", "multiuser", "profile-jobs"} {
 		if !ids[want] {
 			t.Fatalf("missing %s", want)
 		}

@@ -132,6 +132,7 @@ func All() []Runner {
 		{"fig13", "WRF hurricane analysis (Figure 13)", Fig13},
 		{"faults", "Degradation/recovery under fault plans (robustness ablation)", FigFaults},
 		{"jobs", "Concurrent mixed analyses on one cluster (scheduling ablation)", Jobs},
+		{"sched-policies", "Scheduling policy ablation (fifo / backfill / priority / fairshare)", SchedPolicies},
 		{"multiuser", "Multi-user serving with result memoization + read coalescing", Multiuser},
 		{"profile-jobs", "Per-job phase breakdown + critical path (observability)", ProfileJobs},
 	}

@@ -24,7 +24,8 @@ type jobsSetup struct {
 	dims        []int64
 	win         int64 // time steps per job window
 	spe         float64
-	memo        bool // enable the cluster result cache (Spec.Memo)
+	memo        bool   // enable the cluster result cache (Spec.Memo)
+	policy      string // scheduling policy for the queued runs (Spec.Policy)
 }
 
 func newJobsSetup(cfg Config) jobsSetup {
@@ -32,7 +33,7 @@ func newJobsSetup(cfg Config) jobsSetup {
 	s := jobsSetup{
 		nranks: 64, rpn: 8, jobRanks: 16, njobs: 8,
 		stripes: 40, stripeSize: 4 << 20,
-		spe: 2e-8, memo: cfg.Memo,
+		spe: 2e-8, memo: cfg.Memo, policy: cfg.Policy,
 	}
 	steps := int64(4096 * cfg.Scale)
 	ny, nx := int64(256), int64(256)
@@ -85,6 +86,7 @@ func (s jobsSetup) machine(ranks, maxConc int, ot *obs.Tracer) (*cluster.Cluster
 	cl := cluster.New(cluster.Spec{
 		Ranks: ranks, RanksPerNode: s.rpn,
 		FS: hopperFS(), MaxConcurrent: maxConc, Obs: ot, Memo: s.memo,
+		Policy: s.policy,
 	})
 	ds, varid, err := climate.NewDataset3D(cl.FS(), s.dims, s.stripes, s.stripeSize)
 	if err != nil {
