@@ -45,6 +45,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/obscli"
+	"repro/internal/prof"
 )
 
 // experimentList collects repeated -experiment flags.
@@ -73,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsOut := fl.String("metrics", "", "write the metrics-registry dump here; needs exactly one experiment")
 	var tele obscli.Flags
 	tele.Register(fl)
+	var pf prof.Flags
+	pf.Register(fl)
 	var expFlags experimentList
 	fl.Var(&expFlags, "experiment", "experiment to run (repeatable; alias for positional arguments)")
 	fl.Usage = func() {
@@ -122,6 +125,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccexp: %v\n", err)
 		return 1
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(stderr, "ccexp: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "ccexp: %v\n", err)
+		}
+	}()
 	for _, r := range runners {
 		start := time.Now()
 		tb, err := r.Run(cfg)
@@ -159,6 +172,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if tele.Strict && len(viol) > 0 {
 		fmt.Fprintf(stderr, "ccexp: %d SLO violation(s) under -slo-strict\n", len(viol))
+		return 1
+	}
+	if err := stopProf(); err != nil { // flush profiles before -serve blocks
+		fmt.Fprintf(stderr, "ccexp: %v\n", err)
 		return 1
 	}
 	plane.ServeForever()

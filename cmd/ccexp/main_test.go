@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -178,12 +179,14 @@ func TestTraceExportDeterministic(t *testing.T) {
 }
 
 // TestBenchDirWritesJSON checks -bench-dir emits the machine-readable
-// metrics file, with deterministic bytes across runs.
+// metrics file, with the virtual-time figures deterministic across runs.
+// wall_* keys are real wall-clock measurements, so they are required to be
+// present and positive but exempt from the byte-identity requirement.
 func TestBenchDirWritesJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the jobs experiment twice")
 	}
-	read := func() string {
+	read := func() map[string]float64 {
 		dir := t.TempDir()
 		if code, _, errb := runCmd("-quick", "-bench-dir", dir, "jobs"); code != 0 {
 			t.Fatalf("exit %d: %s", code, errb)
@@ -192,17 +195,35 @@ func TestBenchDirWritesJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return string(b)
+		m := map[string]float64{}
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("BENCH_jobs.json: %v\n%s", err, b)
+		}
+		return m
 	}
 	j1 := read()
 	for _, key := range []string{"virtual_makespan_serial", "virtual_makespan_concurrent",
 		"speedup", "throughput_jobs_per_vs"} {
-		if !strings.Contains(j1, `"`+key+`"`) {
-			t.Fatalf("BENCH_jobs.json missing %q:\n%s", key, j1)
+		if _, ok := j1[key]; !ok {
+			t.Fatalf("BENCH_jobs.json missing %q: %v", key, j1)
 		}
 	}
-	if j2 := read(); j1 != j2 {
-		t.Fatalf("BENCH_jobs.json not deterministic:\n%s\nvs\n%s", j1, j2)
+	for _, key := range []string{"wall_seconds_concurrent", "wall_per_virtual"} {
+		if j1[key] <= 0 {
+			t.Fatalf("BENCH_jobs.json %s = %g, want > 0", key, j1[key])
+		}
+	}
+	j2 := read()
+	for key, v1 := range j1 {
+		if strings.HasPrefix(key, "wall_") {
+			continue
+		}
+		if v2, ok := j2[key]; !ok || math.Float64bits(v1) != math.Float64bits(v2) {
+			t.Fatalf("BENCH_jobs.json %s not deterministic: %v vs %v", key, v1, j2[key])
+		}
+	}
+	if len(j1) != len(j2) {
+		t.Fatalf("BENCH_jobs.json key sets differ: %v vs %v", j1, j2)
 	}
 }
 

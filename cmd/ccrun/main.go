@@ -43,6 +43,7 @@ import (
 	"repro/internal/ncfile"
 	"repro/internal/obs"
 	"repro/internal/obscli"
+	"repro/internal/prof"
 	"repro/internal/wrf"
 )
 
@@ -92,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	var tele obscli.Flags
 	tele.Register(fl)
+	var pf prof.Flags
+	pf.Register(fl)
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -99,6 +102,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccrun: "+format+"\n", a...)
 		return 1
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "ccrun: %v\n", err)
+		}
+	}()
 
 	if *steps < int64(*procs) && *ny < int64(*procs) {
 		return fail("need steps or ny >= procs to split the domain")
@@ -120,6 +132,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ccrun: %d SLO violation(s) under -slo-strict\n", len(viol))
 			return 1
 		}
+		if err := stopProf(); err != nil { // flush profiles before -serve blocks
+			return fail("%v", err)
+		}
 		plane.ServeForever()
 		return 0
 	}
@@ -127,7 +142,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *traceOut != "" || *metricsOut != "" || tele.Any() {
 		ot = obs.New()
 	}
-	var err error
 	if plane, err = tele.Attach(ot, stderr); err != nil {
 		return fail("%v", err)
 	}

@@ -2,6 +2,7 @@ package adio
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/datatype"
 	"repro/internal/layout"
@@ -42,15 +43,65 @@ func validateRuns(runs []layout.Run) error {
 }
 
 // shuffleMsg carries the pieces one aggregator sends one owner in one
-// iteration of the raw-data shuffle phase.
+// iteration of the raw-data shuffle phase. Messages are pooled: the receiver
+// returns them with putShuffleMsg after unpacking, so steady-state shuffle
+// rounds reuse the piece list and the contiguous backing buffer instead of
+// allocating fresh fragments per round.
 type shuffleMsg struct {
 	pieces []shufflePiece
 	bytes  int64
+	buf    []byte // contiguous backing storage for packed piece data
 }
 
 type shufflePiece struct {
 	off  int64 // absolute file offset
 	data []byte
+}
+
+var shufflePool = sync.Pool{New: func() interface{} { return new(shuffleMsg) }}
+
+// getShuffleMsg draws an empty message (with whatever capacity it retained)
+// from the pool.
+func getShuffleMsg() *shuffleMsg { return shufflePool.Get().(*shuffleMsg) }
+
+// putShuffleMsg recycles a consumed message, dropping all data references but
+// keeping the piece-list and backing-buffer capacity.
+func putShuffleMsg(m *shuffleMsg) {
+	for i := range m.pieces {
+		m.pieces[i] = shufflePiece{}
+	}
+	m.pieces = m.pieces[:0]
+	m.buf = m.buf[:0]
+	m.bytes = 0
+	shufflePool.Put(m)
+}
+
+// packShuffle copies one owner's pieces out of the collective buffer ext
+// (which covers the file range starting at readLo) into msg's contiguous
+// backing buffer, recording one shufflePiece per fragment. Once msg's pooled
+// storage has grown to the iteration's working size, repacking allocates
+// nothing.
+func packShuffle(msg *shuffleMsg, pieces []Piece, ext []byte, readLo int64) {
+	var total int64
+	for _, pc := range pieces {
+		total += pc.Run.Length
+	}
+	if int64(cap(msg.buf)) < total {
+		msg.buf = make([]byte, total)
+	}
+	msg.buf = msg.buf[:total]
+	if cap(msg.pieces) < len(pieces) {
+		msg.pieces = make([]shufflePiece, 0, len(pieces))
+	}
+	msg.pieces = msg.pieces[:0]
+	var pos int64
+	for _, pc := range pieces {
+		dst := msg.buf[pos : pos+pc.Run.Length]
+		copy(dst, ext[pc.Run.Offset-readLo:pc.Run.End()-readLo])
+		msg.pieces = append(msg.pieces, shufflePiece{off: pc.Run.Offset, data: dst})
+		pos += pc.Run.Length
+	}
+	msg.bytes = total
 }
 
 // Payload is a caller-supplied replacement for one owner's shuffle message
@@ -218,13 +269,8 @@ func aggShuffle(r *mpi.Rank, c *mpi.Comm, pl *Plan, me int, tag int,
 			}
 			r.Sys(float64(total)/p.PackRate + float64(j-i)*p.PieceCost)
 		} else {
-			msg := shuffleMsg{bytes: total}
-			for _, pc := range it.Pieces[i:j] {
-				src := ext[pc.Run.Offset-it.ReadLo : pc.Run.End()-it.ReadLo]
-				data := make([]byte, len(src))
-				copy(data, src)
-				msg.pieces = append(msg.pieces, shufflePiece{off: pc.Run.Offset, data: data})
-			}
+			msg := getShuffleMsg()
+			packShuffle(msg, it.Pieces[i:j], ext, it.ReadLo)
 			// Pack cost: bytes plus a per-fragment charge.
 			r.Sys(float64(total)/p.PackRate + float64(j-i)*p.PieceCost)
 			reqs = append(reqs, r.Isend(c.WorldRank(owner), tag, msg, total))
@@ -253,11 +299,12 @@ func recvIter(r *mpi.Rank, c *mpi.Comm, pl *Plan, me, k, tag, expectPos int,
 		if hooks != nil {
 			hooks.OnRecv(pl.Aggrs[e.Aggr], me, v, n)
 		} else {
-			msg := v.(shuffleMsg)
+			msg := v.(*shuffleMsg)
 			for _, pc := range msg.pieces {
 				copy(rq.Buf[pl.BufPos(me, pc.off):], pc.data)
 			}
 			r.Sys(float64(n)/p.PackRate + float64(len(msg.pieces))*p.PieceCost)
+			putShuffleMsg(msg)
 		}
 		expectPos++
 	}

@@ -1,0 +1,113 @@
+package adio
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/layout"
+)
+
+// benchPieces builds n fragments of frag bytes with frag-byte holes between
+// them — the fine-grained interleaving of the paper's Figure 1 workload — and
+// a collective-buffer extent covering them.
+func benchPieces(n int, frag int64) (pieces []Piece, ext []byte, readLo int64) {
+	readLo = 4096
+	off := readLo
+	pieces = make([]Piece, n)
+	for i := range pieces {
+		pieces[i] = Piece{Owner: 1, Run: layout.Run{Offset: off, Length: frag}}
+		off += 2 * frag
+	}
+	ext = make([]byte, off-readLo)
+	for i := range ext {
+		ext[i] = byte(i * 31)
+	}
+	return pieces, ext, readLo
+}
+
+func TestShufflePackRoundTrip(t *testing.T) {
+	pieces, ext, lo := benchPieces(7, 10)
+	msg := getShuffleMsg()
+	packShuffle(msg, pieces, ext, lo)
+	if msg.bytes != 70 {
+		t.Fatalf("bytes = %d, want 70", msg.bytes)
+	}
+	if len(msg.pieces) != len(pieces) {
+		t.Fatalf("pieces = %d, want %d", len(msg.pieces), len(pieces))
+	}
+	for i, pc := range msg.pieces {
+		want := ext[pieces[i].Run.Offset-lo : pieces[i].Run.End()-lo]
+		if pc.off != pieces[i].Run.Offset || !bytes.Equal(pc.data, want) {
+			t.Fatalf("piece %d = (off %d, %v), want (off %d, %v)",
+				i, pc.off, pc.data, pieces[i].Run.Offset, want)
+		}
+	}
+	// Recycle and repack: the pooled storage must be fully reusable.
+	putShuffleMsg(msg)
+	if len(msg.pieces) != 0 || len(msg.buf) != 0 || msg.bytes != 0 {
+		t.Fatalf("recycled message not reset: %+v", msg)
+	}
+	msg2 := getShuffleMsg()
+	packShuffle(msg2, pieces[:3], ext, lo)
+	if msg2.bytes != 30 || len(msg2.pieces) != 3 {
+		t.Fatalf("repack: bytes=%d pieces=%d", msg2.bytes, len(msg2.pieces))
+	}
+	for i, pc := range msg2.pieces {
+		want := ext[pieces[i].Run.Offset-lo : pieces[i].Run.End()-lo]
+		if !bytes.Equal(pc.data, want) {
+			t.Fatalf("repacked piece %d = %v, want %v", i, pc.data, want)
+		}
+	}
+	putShuffleMsg(msg2)
+}
+
+// TestShufflePackZeroAlloc is the steady-state allocation contract gated in
+// nightly CI: once a pooled message has grown to the working size, repacking
+// a collective round allocates nothing.
+func TestShufflePackZeroAlloc(t *testing.T) {
+	pieces, ext, lo := benchPieces(32, 40)
+	msg := getShuffleMsg()
+	defer putShuffleMsg(msg)
+	packShuffle(msg, pieces, ext, lo) // grow pooled storage once
+	n := testing.AllocsPerRun(1000, func() {
+		packShuffle(msg, pieces, ext, lo)
+	})
+	if n != 0 {
+		t.Fatalf("pack allocates %v per round in steady state, want 0", n)
+	}
+}
+
+// BenchmarkShufflePack measures packing one owner's fragments (the Figure 1
+// shape: many small pieces) out of the collective buffer into a pooled
+// message.
+func BenchmarkShufflePack(b *testing.B) {
+	pieces, ext, lo := benchPieces(64, 40)
+	msg := getShuffleMsg()
+	defer putShuffleMsg(msg)
+	b.SetBytes(64 * 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packShuffle(msg, pieces, ext, lo)
+	}
+}
+
+// BenchmarkShufflePackUnpack measures a full pooled round: draw, pack, unpack
+// into the owner's buffer, recycle.
+func BenchmarkShufflePackUnpack(b *testing.B) {
+	pieces, ext, lo := benchPieces(64, 40)
+	dst := make([]byte, 64*40)
+	b.SetBytes(64 * 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := getShuffleMsg()
+		packShuffle(msg, pieces, ext, lo)
+		var pos int64
+		for _, pc := range msg.pieces {
+			copy(dst[pos:], pc.data)
+			pos += int64(len(pc.data))
+		}
+		putShuffleMsg(msg)
+	}
+}

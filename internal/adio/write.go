@@ -43,7 +43,7 @@ func CollectiveWrite(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 				continue
 			}
 			it := &pl.Iters[a][k]
-			msg := shuffleMsg{}
+			msg := getShuffleMsg()
 			for _, pc := range it.Pieces {
 				if pc.Owner != me {
 					continue
@@ -54,6 +54,7 @@ func CollectiveWrite(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 				msg.bytes += pc.Run.Length
 			}
 			if msg.bytes == 0 {
+				putShuffleMsg(msg)
 				continue
 			}
 			r.Sys(float64(msg.bytes) / p.PackRate)
@@ -77,16 +78,19 @@ func CollectiveWrite(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 				}
 				// Collect one message per owner with data this iteration.
 				for _, owner := range ownersOf(it) {
-					var msg shuffleMsg
+					var msg *shuffleMsg
 					if owner == me {
 						msg = takeLocal(&pendingLocal, aggrIdx)
 					} else {
 						v, n := r.Recv(c.WorldRank(owner), tag)
-						msg = v.(shuffleMsg)
+						msg = v.(*shuffleMsg)
 						r.Sys(float64(n) / p.PackRate)
 					}
-					for _, pc := range msg.pieces {
-						copy(ext[pc.off-it.ReadLo:], pc.data)
+					if msg != nil {
+						for _, pc := range msg.pieces {
+							copy(ext[pc.off-it.ReadLo:], pc.data)
+						}
+						putShuffleMsg(msg)
 					}
 				}
 				cl.Write(f, ext, it.ReadLo)
@@ -99,19 +103,20 @@ func CollectiveWrite(r *mpi.Rank, c *mpi.Comm, cl *pfs.Client, f *pfs.File,
 
 // localStashT queues a rank's owner==aggregator messages per aggregator
 // index between the ship and assemble phases of CollectiveWrite.
-type localStashT map[int][]shuffleMsg
+type localStashT map[int][]*shuffleMsg
 
-func localStash(s *localStashT, aggr int, m shuffleMsg) {
+func localStash(s *localStashT, aggr int, m *shuffleMsg) {
 	if *s == nil {
 		*s = localStashT{}
 	}
 	(*s)[aggr] = append((*s)[aggr], m)
 }
 
-func takeLocal(s *localStashT, aggr int) shuffleMsg {
+// takeLocal pops the next stashed message, or nil if none was shipped.
+func takeLocal(s *localStashT, aggr int) *shuffleMsg {
 	q := (*s)[aggr]
 	if len(q) == 0 {
-		return shuffleMsg{}
+		return nil
 	}
 	m := q[0]
 	(*s)[aggr] = q[1:]

@@ -174,11 +174,18 @@ func (MinLoc) Zero() State       { return Loc{Val: math.Inf(1)} }
 func (MinLoc) StateBytes() int64 { return 8 + 8*4 } // value + coords(≤4 dims)
 func (MinLoc) Absorb(s State, sub Subset) State {
 	best := s.(Loc)
-	ForEach(sub, func(coords []int64, v float64) {
+	// Flat scan in row-major order — identical visit order and strict-compare
+	// (first occurrence wins) as the ForEach form, without a closure call and
+	// coordinate odometer per element; coordinates are rebuilt once at the end.
+	bestIdx := -1
+	for i, v := range sub.Data {
 		if v < best.Val || !best.Valid {
-			best = Loc{Val: v, Coords: append([]int64(nil), coords...), Valid: true}
+			best.Val, best.Valid, bestIdx = v, true, i
 		}
-	})
+	}
+	if bestIdx >= 0 {
+		best.Coords = coordsAt(sub.Slab, int64(bestIdx))
+	}
 	return best
 }
 func (MinLoc) Merge(a, b State) State {
@@ -199,12 +206,28 @@ func (MaxLoc) Zero() State       { return Loc{Val: math.Inf(-1)} }
 func (MaxLoc) StateBytes() int64 { return 8 + 8*4 }
 func (MaxLoc) Absorb(s State, sub Subset) State {
 	best := s.(Loc)
-	ForEach(sub, func(coords []int64, v float64) {
+	bestIdx := -1
+	for i, v := range sub.Data {
 		if v > best.Val || !best.Valid {
-			best = Loc{Val: v, Coords: append([]int64(nil), coords...), Valid: true}
+			best.Val, best.Valid, bestIdx = v, true, i
 		}
-	})
+	}
+	if bestIdx >= 0 {
+		best.Coords = coordsAt(sub.Slab, int64(bestIdx))
+	}
 	return best
+}
+
+// coordsAt returns the logical coordinates of the idx-th element of the slab
+// in row-major order — the coordinates ForEach would have presented.
+func coordsAt(slab layout.Slab, idx int64) []int64 {
+	nd := len(slab.Start)
+	coords := make([]int64, nd)
+	for d := nd - 1; d >= 0; d-- {
+		coords[d] = slab.Start[d] + idx%slab.Count[d]
+		idx /= slab.Count[d]
+	}
+	return coords
 }
 func (MaxLoc) Merge(a, b State) State {
 	x, y := a.(Loc), b.(Loc)

@@ -177,3 +177,40 @@ func TestSplitAlongDim(t *testing.T) {
 	}()
 	SplitAlongDim(layout.Slab{Start: []int64{0}, Count: []int64{2}}, 0, 5)
 }
+
+// TestRowGensMatchScalarFns pins the hoisted row generators to the scalar
+// value functions bit for bit: the base-term grouping and the partial FNV
+// hash must reproduce the per-element arithmetic exactly, including at rows
+// crossing the sin-table period and hash-collision-prone coordinates.
+func TestRowGensMatchScalarFns(t *testing.T) {
+	rows4 := [][]int64{
+		{0, 0, 0, 0}, {3, 17, 2, 250}, {359, 1, 0, 0}, {360, 1023, 99, 1000},
+		{719, 512, 50, 5}, {1023, 7, 3, 1020},
+	}
+	out := make([]float64, 64)
+	for _, start := range rows4 {
+		gen4D{}.FillRow(start, out)
+		for k, got := range out {
+			c := []int64{start[0], start[1], start[2], start[3] + int64(k)}
+			want := Temperature4D(c)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("gen4D at %v = %x, scalar = %x", c,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+	rows3 := [][]int64{
+		{0, 0, 0}, {100, 700, 120}, {360, 0, 255}, {204799, 1023, 1000},
+	}
+	for _, start := range rows3 {
+		gen3D{}.FillRow(start, out)
+		for k, got := range out {
+			c := []int64{start[0], start[1], start[2] + int64(k)}
+			want := Temperature3D(c)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("gen3D at %v = %x, scalar = %x", c,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}

@@ -94,8 +94,8 @@ type Cluster struct {
 	pending    []*JobResult // FIFO admission queue
 	futureSubs int          // SubmitAt callbacks not yet fired
 	results    []*JobResult // every submission, in submission order
-	assign     []*sim.Mailbox
-	done       *sim.Mailbox
+	assign     []*sim.Mailbox[*JobContext]
+	done       *sim.Mailbox[doneMsg]
 	ran        bool
 }
 
@@ -130,10 +130,10 @@ func New(spec Spec) *Cluster {
 	}
 	c.installTracers()
 	c.world = w.Comm()
-	c.done = env.NewMailbox("cluster.done")
-	c.assign = make([]*sim.Mailbox, spec.Ranks)
+	c.done = sim.NewMailbox[doneMsg](env, "cluster.done")
+	c.assign = make([]*sim.Mailbox[*JobContext], spec.Ranks)
 	for i := range c.assign {
-		c.assign[i] = env.NewMailbox(fmt.Sprintf("cluster.assign%d", i))
+		c.assign[i] = sim.NewMailbox[*JobContext](env, fmt.Sprintf("cluster.assign%d", i))
 	}
 	return c
 }

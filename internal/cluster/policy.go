@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -100,9 +101,70 @@ type RunningJob struct {
 // must re-read indices after any mutation.
 type Queue struct {
 	c       *Cluster
-	free    []bool
-	nfree   int
+	pool    rankPool
 	running []*JobResult // admitted and not yet completed, admission order
+}
+
+// rankPool tracks the free world ranks as a bitset: O(1) take/put and
+// lowest-free-first placement via trailing-zero scans over 64-rank words,
+// replacing the per-admission linear scan over a []bool. Placement order is
+// identical to the scan (ascending rank), so schedules are unchanged.
+type rankPool struct {
+	words []uint64
+	n     int // pool size
+	free  int // free count
+}
+
+func newRankPool(n int) rankPool {
+	p := rankPool{words: make([]uint64, (n+63)/64), n: n, free: n}
+	for i := 0; i < n; i++ {
+		p.words[i>>6] |= 1 << uint(i&63)
+	}
+	return p
+}
+
+func (p *rankPool) isFree(wr int) bool {
+	return p.words[wr>>6]&(1<<uint(wr&63)) != 0
+}
+
+func (p *rankPool) take(wr int) {
+	p.words[wr>>6] &^= 1 << uint(wr&63)
+	p.free--
+}
+
+func (p *rankPool) put(wr int) {
+	p.words[wr>>6] |= 1 << uint(wr&63)
+	p.free++
+}
+
+// takeLowest claims the k lowest-numbered free ranks and appends them to out.
+func (p *rankPool) takeLowest(k int, out []int) []int {
+	for wi, w := range p.words {
+		for w != 0 && k > 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			out = append(out, wi<<6+b)
+			k--
+			p.free--
+		}
+		p.words[wi] = w
+		if k == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// ranks returns the free ranks in ascending order.
+func (p *rankPool) ranks(out []int) []int {
+	for wi, w := range p.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			out = append(out, wi<<6+b)
+		}
+	}
+	return out
 }
 
 // Now returns the current virtual time.
@@ -133,20 +195,14 @@ func (q *Queue) Expired(i int) bool {
 }
 
 // Free returns the number of free ranks.
-func (q *Queue) Free() int { return q.nfree }
+func (q *Queue) Free() int { return q.pool.free }
 
 // PoolSize returns the machine's rank-pool size.
 func (q *Queue) PoolSize() int { return q.c.spec.Ranks }
 
 // FreeRanks returns the free world ranks in ascending order.
 func (q *Queue) FreeRanks() []int {
-	out := make([]int, 0, q.nfree)
-	for wr, f := range q.free {
-		if f {
-			out = append(out, wr)
-		}
-	}
-	return out
+	return q.pool.ranks(make([]int, 0, q.pool.free))
 }
 
 // CapFree reports whether the concurrency cap (Spec.MaxConcurrent) leaves
@@ -158,7 +214,7 @@ func (q *Queue) CapFree() bool {
 // Fits reports whether pending job i can be admitted right now: enough free
 // ranks and concurrency-cap headroom.
 func (q *Queue) Fits(i int) bool {
-	return q.c.pending[i].Job.Ranks <= q.nfree && q.CapFree()
+	return q.c.pending[i].Job.Ranks <= q.pool.free && q.CapFree()
 }
 
 // Running returns the admitted-and-running set in admission order.
@@ -242,21 +298,15 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 	c := q.c
 	jr := c.pending[i]
 	j := jr.Job
-	if j.Ranks > q.nfree || !q.CapFree() {
+	if j.Ranks > q.pool.free || !q.CapFree() {
 		panic(fmt.Sprintf("cluster: policy admitted job %q (width %d) with %d free ranks",
-			j.Name, j.Ranks, q.nfree))
+			j.Name, j.Ranks, q.pool.free))
 	}
 	now := c.env.Now()
 	c.pending = append(c.pending[:i], c.pending[i+1:]...)
 	var members []int
 	if ranks == nil {
-		members = make([]int, 0, j.Ranks)
-		for wr := 0; wr < c.spec.Ranks && len(members) < j.Ranks; wr++ {
-			if q.free[wr] {
-				q.free[wr] = false
-				members = append(members, wr)
-			}
-		}
+		members = q.pool.takeLowest(j.Ranks, make([]int, 0, j.Ranks))
 	} else {
 		if len(ranks) != j.Ranks {
 			panic(fmt.Sprintf("cluster: policy placed job %q (width %d) on %d ranks",
@@ -264,15 +314,14 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 		}
 		members = make([]int, len(ranks))
 		for k, wr := range ranks {
-			if wr < 0 || wr >= c.spec.Ranks || !q.free[wr] {
+			if wr < 0 || wr >= c.spec.Ranks || !q.pool.isFree(wr) {
 				panic(fmt.Sprintf("cluster: policy placed job %q on busy or invalid rank %d",
 					j.Name, wr))
 			}
-			q.free[wr] = false
+			q.pool.take(wr)
 			members[k] = wr
 		}
 	}
-	q.nfree -= j.Ranks
 	q.running = append(q.running, jr)
 	jr.Start = now
 	jr.Ranks = members
@@ -306,7 +355,7 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 			ot.SetThreadName(jr.pid, wr, fmt.Sprintf("rank %d", wr))
 		}
 		ot.Counter("cluster_queue_depth", now, float64(len(c.pending)))
-		ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-q.nfree))
+		ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-q.pool.free))
 		m := ot.Metrics()
 		m.Counter("cluster_jobs_admitted").Inc()
 		m.Histogram("cluster_queue_wait_seconds").Observe(now - jr.Submit)
@@ -322,9 +371,8 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 // actual delivered rank-seconds.
 func (q *Queue) complete(jr *JobResult) {
 	for _, wr := range jr.Ranks {
-		q.free[wr] = true
+		q.pool.put(wr)
 	}
-	q.nfree += len(jr.Ranks)
 	for i, r := range q.running {
 		if r == jr {
 			q.running = append(q.running[:i], q.running[i+1:]...)

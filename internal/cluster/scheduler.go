@@ -185,7 +185,7 @@ func (c *Cluster) SubmitAt(t float64, j *Job) *JobResult {
 	c.env.At(t, func() {
 		c.futureSubs--
 		c.pending = append(c.pending, jr)
-		c.done.Send(wakeMsg{}, 0, t)
+		c.done.Send(doneMsg{}, 0, t) // wake: zero ctx
 	})
 	return jr
 }
@@ -211,9 +211,9 @@ func (c *Cluster) prepare(j *Job, submit float64) *JobResult {
 	return jr
 }
 
-// Scheduler-worker control messages.
-type shutdownMsg struct{}
-type wakeMsg struct{}
+// doneMsg is the scheduler's typed completion/wake message. A zero ctx is a
+// pure wake-up (a future submission arrived); workers are shut down with a
+// nil assignment instead of a sentinel type.
 type doneMsg struct {
 	ctx      *JobContext
 	commRank int
@@ -226,9 +226,9 @@ func (c *Cluster) worker(r *mpi.Rank) {
 	mb := c.assign[r.Rank()]
 	for {
 		m := mb.Recv(r.Proc())
-		ctx, ok := m.Payload.(*JobContext)
-		if !ok {
-			return // shutdownMsg
+		ctx := m.Payload
+		if ctx == nil {
+			return // shutdown
 		}
 		err := ctx.job.Main(ctx, r)
 		c.done.Send(doneMsg{ctx: ctx, commRank: ctx.comm.RankOf(r), err: err},
@@ -242,10 +242,7 @@ func (c *Cluster) worker(r *mpi.Rank) {
 // scheduling Policy (Spec.Policy; fifo by default) through a Queue view at
 // every scheduling event.
 func (c *Cluster) scheduler(p *sim.Proc) {
-	q := &Queue{c: c, free: make([]bool, c.spec.Ranks), nfree: c.spec.Ranks}
-	for i := range q.free {
-		q.free[i] = true
-	}
+	q := &Queue{c: c, pool: newRankPool(c.spec.Ranks)}
 
 	for {
 		// One admission round: the policy drops expired jobs it considers,
@@ -259,12 +256,12 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 
 		// Round boundary: the admission round is over and the scheduler is
 		// about to block — a consistent instant to publish telemetry from.
-		c.publishTelemetry(c.env.Now(), len(c.pending), c.spec.Ranks-q.nfree)
+		c.publishTelemetry(c.env.Now(), len(c.pending), c.spec.Ranks-q.pool.free)
 
 		m := c.done.Recv(p)
-		d, ok := m.Payload.(doneMsg)
-		if !ok {
-			continue // wakeMsg from SubmitAt
+		d := m.Payload
+		if d.ctx == nil {
+			continue // wake-up from SubmitAt
 		}
 		ctx := d.ctx
 		ctx.errs[d.commRank] = d.err
@@ -294,7 +291,7 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 			for _, wr := range jr.Ranks {
 				ot.UnbindRank(wr)
 			}
-			ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-q.nfree))
+			ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-q.pool.free))
 			m := ot.Metrics()
 			m.Counter("cluster_jobs_completed").Inc()
 			m.Histogram("cluster_service_seconds").Observe(jr.End - jr.Start)
@@ -308,7 +305,7 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 	}
 
 	for _, mb := range c.assign {
-		mb.Send(shutdownMsg{}, 0, c.env.Now())
+		mb.Send(nil, 0, c.env.Now())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"time"
 
 	"repro/internal/cc"
 	"repro/internal/climate"
@@ -158,8 +159,13 @@ func Jobs(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	// Only the concurrent run is traced: it is the run whose schedule the
-	// trace and profile-jobs breakdown are meant to explain.
+	// trace and profile-jobs breakdown are meant to explain. Its wall-clock
+	// time is the simulator-speed headline: wall seconds burned per virtual
+	// second simulated (bench-only — never printed, so stdout stays
+	// machine-independent for the trace-determinism gate).
+	wallStart := time.Now()
 	conc, concSpan, concMisses, err := queued(0, cfg.Obs)
+	wall := time.Since(wallStart).Seconds()
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +233,10 @@ func Jobs(cfg Config) (*Table, error) {
 		"rank_pool_utilization_pct":   utilization,
 		"critical_path_jobs":          float64(len(critPath)),
 		"critical_path_vs":            cpLen,
+		// wall_* keys are machine-dependent; the nightly drift gate treats
+		// them as informational (loose threshold), not regressions.
+		"wall_seconds_concurrent": wall,
+		"wall_per_virtual":        wall / concSpan,
 	}
 	return t, nil
 }

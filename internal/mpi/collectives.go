@@ -307,16 +307,20 @@ func (c *Comm) Gatherv(r *Rank, root int, payload interface{}, bytes []int64) []
 	}
 	out := make([]interface{}, c.Size())
 	out[me] = payload
-	// Post all receives, then complete in arrival order.
+	// Post all receives, then complete in post order. Each receive matches a
+	// specific source, so the comm index of the k-th request is known at post
+	// time (Wait recycles the request, so its fields must not be read after).
 	reqs := make([]*Request, 0, c.Size()-1)
+	from := make([]int, 0, c.Size()-1)
 	for i := 0; i < c.Size(); i++ {
 		if i != me {
 			reqs = append(reqs, r.Irecv(c.members[i], tag))
+			from = append(from, i)
 		}
 	}
-	for _, q := range reqs {
+	for k, q := range reqs {
 		v, _ := r.Wait(q)
-		out[c.index[q.env.src]] = v
+		out[from[k]] = v
 	}
 	return out
 }

@@ -125,6 +125,51 @@ type Rank struct {
 	proc    *sim.Proc
 	pending []*envelope // arrived, unmatched messages in delivery order
 	posted  []*Request  // posted receives in post order
+
+	// Freelists. The simulation is single-threaded, so these need no locks:
+	// envelopes are drawn by senders from the *destination* rank's pool and
+	// returned when the matching Wait consumes them; requests are drawn and
+	// returned by the owning rank around each Isend/Irecv + Wait pair. In
+	// steady state point-to-point traffic allocates nothing.
+	envFree []*envelope
+	reqFree []*Request
+}
+
+// getEnv draws a zeroed envelope from r's pool.
+func (r *Rank) getEnv() *envelope {
+	if n := len(r.envFree); n > 0 {
+		e := r.envFree[n-1]
+		r.envFree = r.envFree[:n-1]
+		return e
+	}
+	return &envelope{}
+}
+
+// putEnv recycles a consumed envelope, dropping the payload reference.
+func (r *Rank) putEnv(e *envelope) {
+	*e = envelope{}
+	r.envFree = append(r.envFree, e)
+}
+
+// getReq draws a request from r's pool. Recycled requests are zeroed here, on
+// reuse, not when returned: a completed request keeps its done/owner fields
+// until the pool hands it out again, so the double-Wait panic still fires for
+// a stale handle. A Wait on a request recycled *and* re-issued is
+// indistinguishable from a Wait on the new operation — the usual cost of
+// pooling handles.
+func (r *Rank) getReq() *Request {
+	if n := len(r.reqFree); n > 0 {
+		q := r.reqFree[n-1]
+		r.reqFree = r.reqFree[:n-1]
+		*q = Request{}
+		return q
+	}
+	return &Request{}
+}
+
+// putReq recycles a completed request.
+func (r *Rank) putReq(q *Request) {
+	r.reqFree = append(r.reqFree, q)
 }
 
 // Rank returns this process's world rank.
@@ -212,9 +257,13 @@ func (r *Rank) Isend(dst, tag int, payload interface{}, bytes int64) *Request {
 			obs.I("dst", int64(dst)), obs.I("bytes", bytes),
 			obs.I("degraded", r.w.net.DegradedMessages-degBefore))
 	}
-	e := &envelope{src: r.rank, tag: tag, payload: payload, bytes: bytes, ready: ready}
-	r.w.ranks[dst].deliver(e)
-	return &Request{kind: sendReq, owner: r, freeAt: senderFree, env: e}
+	d := r.w.ranks[dst]
+	e := d.getEnv()
+	e.src, e.tag, e.payload, e.bytes, e.ready = r.rank, tag, payload, bytes, ready
+	d.deliver(e)
+	req := r.getReq()
+	req.kind, req.owner, req.freeAt = sendReq, r, senderFree
+	return req
 }
 
 // Send is a blocking send: Isend + Wait.
@@ -225,7 +274,8 @@ func (r *Rank) Send(dst, tag int, payload interface{}, bytes int64) {
 // Irecv posts a non-blocking receive matching (src, tag); use AnySource /
 // AnyTag as wildcards.
 func (r *Rank) Irecv(src, tag int) *Request {
-	req := &Request{kind: recvReq, owner: r, src: src, tag: tag}
+	req := r.getReq()
+	req.kind, req.owner, req.src, req.tag = recvReq, r, src, tag
 	for i, e := range r.pending {
 		if match(e, src, tag) {
 			req.env = e
@@ -270,6 +320,7 @@ func (r *Rank) Wait(req *Request) (interface{}, int64) {
 		if r.Now() > t0 {
 			r.w.tracer.Record(r.rank, trace.Sys, t0, r.Now())
 		}
+		r.putReq(req)
 		return nil, 0
 	default: // recvReq
 		t0 := r.Now()
@@ -278,15 +329,19 @@ func (r *Rank) Wait(req *Request) (interface{}, int64) {
 			r.proc.Block(fmt.Sprintf("mpi recv src=%d tag=%d", req.src, req.tag))
 			req.waiting = false
 		}
-		r.proc.SleepUntil(req.env.ready)
+		e := req.env
+		r.proc.SleepUntil(e.ready)
 		if r.Now() > t0 {
 			r.w.tracer.Record(r.rank, trace.WaitComm, t0, r.Now())
 			if ot := r.w.obs; ot != nil {
 				ot.SpanRank(r.rank, "mpi.recv", "mpi", t0, r.Now(),
-					obs.I("src", int64(req.env.src)), obs.I("bytes", req.env.bytes))
+					obs.I("src", int64(e.src)), obs.I("bytes", e.bytes))
 			}
 		}
-		return req.env.payload, req.env.bytes
+		payload, bytes := e.payload, e.bytes
+		r.putEnv(e)
+		r.putReq(req)
+		return payload, bytes
 	}
 }
 

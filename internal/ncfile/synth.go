@@ -14,6 +14,31 @@ import (
 // deterministic and cheap: synthetic files are regenerated on every read.
 type ValueFn func(coords []int64) float64
 
+// Gen generates a run of variable values along the fastest-varying (last)
+// dimension in one call: out[k] receives the value at coords with the last
+// coordinate advanced by k. Implementations can hoist work that only depends
+// on the slower coordinates out of the per-element loop, which is where
+// synthetic reads spend their time; results must be bit-identical to calling
+// a per-element function once per k.
+type Gen interface {
+	FillRow(coords []int64, out []float64)
+}
+
+// fnGen adapts a plain per-element ValueFn to the Gen interface.
+type fnGen struct {
+	fn     ValueFn
+	coords []int64 // scratch; the sim is single-threaded per dataset
+}
+
+func (g *fnGen) FillRow(coords []int64, out []float64) {
+	g.coords = append(g.coords[:0], coords...)
+	last := len(g.coords) - 1
+	for k := range out {
+		out[k] = g.fn(g.coords)
+		g.coords[last]++
+	}
+}
+
 // SynthDataset creates a dataset whose variable contents are generated on
 // demand by per-variable value functions — virtual files of hundreds of GB
 // with no resident data, the substitution for the paper's 800 GB climate
@@ -27,15 +52,39 @@ func SynthDataset(fs *pfs.FS, name string, s *Schema, fns []ValueFn,
 	if len(fns) != len(s.vars) {
 		return nil, fmt.Errorf("ncfile: %d value functions for %d variables", len(fns), len(s.vars))
 	}
+	gens := make([]Gen, len(fns))
+	for i, fn := range fns {
+		if fn != nil {
+			gens[i] = &fnGen{fn: fn}
+		}
+	}
+	return SynthDatasetGen(fs, name, s, gens, stripeCount, stripeSize, firstOST)
+}
+
+// SynthDatasetGen is SynthDataset with row-batched generators: value
+// producers that fill whole runs along the fastest dimension per call, so
+// per-row invariants (seasonal terms, partial hashes) are hoisted out of the
+// element loop. gens is indexed by variable id; a nil entry yields zeros.
+func SynthDatasetGen(fs *pfs.FS, name string, s *Schema, gens []Gen,
+	stripeCount int, stripeSize int64, firstOST int) (*Dataset, error) {
+	if len(s.vars) == 0 {
+		return nil, fmt.Errorf("ncfile: schema has no variables")
+	}
+	if len(gens) != len(s.vars) {
+		return nil, fmt.Errorf("ncfile: %d value generators for %d variables", len(gens), len(s.vars))
+	}
 	size := s.Layout()
 	vars := append([]Var(nil), s.vars...)
 	sort.Slice(vars, func(i, j int) bool { return vars[i].Offset < vars[j].Offset })
-	// Map sorted position back to schema id for fns lookup.
-	fnOf := make([]ValueFn, len(vars))
+	// Map sorted position back to schema id for gens lookup.
+	genOf := make([]Gen, len(vars))
 	for i, v := range vars {
 		id, _ := idOf(s, v.Name)
-		fnOf[i] = fns[id]
+		genOf[i] = gens[id]
 	}
+	// Scratch buffers shared across fills: the simulation serializes all
+	// reads of one dataset, so one set per dataset suffices.
+	var fv fillState
 	fill := func(off int64, p []byte) {
 		for i := range p {
 			p[i] = 0
@@ -46,7 +95,7 @@ func SynthDataset(fs *pfs.FS, name string, s *Schema, fns []ValueFn,
 			return vars[i].Offset+vars[i].Bytes() > lo
 		})
 		for ; i < len(vars) && vars[i].Offset < hi; i++ {
-			fillVar(&vars[i], fnOf[i], lo, hi, p)
+			fv.fillVar(&vars[i], genOf[i], lo, hi, p)
 		}
 	}
 	backend := pfs.NewSynthBackend(size, fill)
@@ -63,9 +112,19 @@ func idOf(s *Schema, name string) (int, bool) {
 	return 0, false
 }
 
+// fillState carries the per-dataset scratch of fillVar between calls so
+// steady-state synthetic reads allocate nothing.
+type fillState struct {
+	coords []int64
+	vals   []float64
+}
+
 // fillVar writes the bytes of v that fall within [lo, hi) into
-// p[...] (p corresponds to file range [lo, hi)).
-func fillVar(v *Var, fn ValueFn, lo, hi int64, p []byte) {
+// p[...] (p corresponds to file range [lo, hi)). Values are produced
+// row-by-row through g and encoded with direct little-endian stores for
+// whole elements; only the (at most two) elements cut by the extent edges
+// take the byte-wise path.
+func (fv *fillState) fillVar(v *Var, g Gen, lo, hi int64, p []byte) {
 	vlo, vhi := v.Offset, v.Offset+v.Bytes()
 	if lo > vlo {
 		vlo = lo
@@ -76,33 +135,90 @@ func fillVar(v *Var, fn ValueFn, lo, hi int64, p []byte) {
 	if vhi <= vlo {
 		return
 	}
+	if g == nil {
+		return // p is pre-zeroed; all types encode value 0 as zero bytes
+	}
 	sz := v.Type.Size()
 	firstElem := (vlo - v.Offset) / sz
 	lastElem := (vhi - v.Offset + sz - 1) / sz // exclusive
-	coords := layout.OffsetToCoords(v.Dims, firstElem, nil)
-	var tmp [8]byte
 	nd := len(v.Dims)
-	for e := firstElem; e < lastElem; e++ {
-		var val float64
-		if fn != nil {
-			val = fn(coords)
+	if len(fv.coords) != nd {
+		fv.coords = make([]int64, nd)
+	}
+	coords := layout.OffsetToCoords(v.Dims, firstElem, fv.coords)
+	lastDim := v.Dims[nd-1]
+	for e := firstElem; e < lastElem; {
+		// One run along the fastest dimension, clipped to the extent.
+		n := lastDim - coords[nd-1]
+		if e+n > lastElem {
+			n = lastElem - e
 		}
-		encodeOne(v.Type, val, tmp[:])
-		// Byte range of this element within the file.
-		eLo := v.Offset + e*sz
-		for b := int64(0); b < sz; b++ {
-			fo := eLo + b
-			if fo >= lo && fo < hi {
-				p[fo-lo] = tmp[b]
-			}
+		if int64(cap(fv.vals)) < n {
+			fv.vals = make([]float64, n)
 		}
-		// Odometer increment.
-		for d := nd - 1; d >= 0; d-- {
-			coords[d]++
-			if coords[d] < v.Dims[d] {
-				break
-			}
+		vals := fv.vals[:n]
+		g.FillRow(coords, vals)
+		fv.encodeRow(v, e, vals, lo, hi, p)
+		e += n
+		// Odometer increment by n: the run ends at a row boundary (or at
+		// lastElem, in which case the loop exits and coords are dead).
+		coords[nd-1] += n
+		for d := nd - 1; d > 0 && coords[d] >= v.Dims[d]; d-- {
 			coords[d] = 0
+			coords[d-1]++
+		}
+	}
+}
+
+// encodeRow stores vals for the consecutive elements starting at element
+// index e of v, clipping to the file range [lo, hi) covered by p.
+func (fv *fillState) encodeRow(v *Var, e int64, vals []float64, lo, hi int64, p []byte) {
+	sz := v.Type.Size()
+	base := v.Offset + e*sz - lo // byte pos of element e within p (may be <0)
+	n := int64(len(vals))
+	// Elements [k0, k1) lie fully inside p; at most one element on each side
+	// is clipped by the extent edge.
+	k0, k1 := int64(0), n
+	for k0 < n && base+k0*sz < 0 {
+		k0++
+	}
+	for k1 > k0 && base+k1*sz > int64(len(p)) {
+		k1--
+	}
+	le := binary.LittleEndian
+	if k0 < k1 {
+		q := p[base+k0*sz:]
+		switch v.Type {
+		case Float32:
+			for i, val := range vals[k0:k1] {
+				le.PutUint32(q[4*i:], math.Float32bits(float32(val)))
+			}
+		case Float64:
+			for i, val := range vals[k0:k1] {
+				le.PutUint64(q[8*i:], math.Float64bits(val))
+			}
+		case Int32:
+			for i, val := range vals[k0:k1] {
+				le.PutUint32(q[4*i:], uint32(int32(val)))
+			}
+		case Int64:
+			for i, val := range vals[k0:k1] {
+				le.PutUint64(q[8*i:], uint64(int64(val)))
+			}
+		}
+	}
+	// Edge elements: byte-wise copy of the in-range slice.
+	var tmp [8]byte
+	for _, k := range [2]int64{k0 - 1, k1} {
+		if k < 0 || k >= n || (k >= k0 && k < k1) {
+			continue
+		}
+		encodeOne(v.Type, vals[k], tmp[:])
+		eLo := base + k*sz
+		for b := int64(0); b < sz; b++ {
+			if o := eLo + b; o >= 0 && o < int64(len(p)) {
+				p[o] = tmp[b]
+			}
 		}
 	}
 }

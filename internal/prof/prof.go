@@ -1,0 +1,71 @@
+// Package prof wires runtime/pprof into the CLIs: -cpuprofile and
+// -memprofile flags on ccexp and ccrun, so hot-path work in the simulator is
+// measurable without editing code. The profiles are standard pprof files
+// (`go tool pprof <binary> <profile>`).
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values for one command.
+type Flags struct {
+	CPU string // -cpuprofile path ("" = off)
+	Mem string // -memprofile path ("" = off)
+}
+
+// Register installs the -cpuprofile/-memprofile flags on fl.
+func (f *Flags) Register(fl *flag.FlagSet) {
+	fl.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fl.StringVar(&f.Mem, "memprofile", "", "write an allocation profile to this file at exit")
+}
+
+// Start begins CPU profiling if requested. The returned stop function must
+// be called at process exit (it also writes the -memprofile, if any); it is
+// idempotent and safe to call when neither flag was set.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	mem := f.Mem
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if mem != "" {
+			mf, err := os.Create(mem)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			runtime.GC() // flush recent allocations into the heap profile
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				mf.Close()
+				return fmt.Errorf("prof: %w", err)
+			}
+			if err := mf.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -13,10 +13,16 @@
 //     receiver at a sender-chosen ready time, and
 //   - resources (NewResource), single FIFO servers used to model contended
 //     devices such as OSTs and NICs.
+//
+// Hot-path design: the event queue and mailbox queues are typed 4-ary
+// min-heaps ordered by (time, seq) — no container/heap, no interface{}
+// boxing, hole-based sifts instead of swap chains. Because every key is
+// unique (seq is a strictly increasing tie-breaker), the pop order is a
+// total order independent of heap arity, so swapping the binary heap for a
+// 4-ary one is observably byte-identical.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -29,49 +35,124 @@ import (
 type Env struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
+	queue   eventQueue
 	yield   chan struct{} // token returned by the running process
 	live    int           // spawned processes that have not finished
-	blocked map[*Proc]string
+	blocked map[*Proc]blockedInfo
 	procSeq int
+	stale   uint64 // cancelled wake-ups discarded at pop time
+}
+
+// blockedInfo records why and when a process parked in Block, for deadlock
+// reporting.
+type blockedInfo struct {
+	why   string
+	since float64
 }
 
 // NewEnv returns an empty environment with the clock at 0.
 func NewEnv() *Env {
 	return &Env{
 		yield:   make(chan struct{}),
-		blocked: make(map[*Proc]string),
+		blocked: make(map[*Proc]blockedInfo),
 	}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Env) Now() float64 { return e.now }
 
+// SkippedWakeups returns how many cancelled (superseded-generation or
+// finished-process) wake-up events the scheduler has discarded so far.
+// Cancellation is lazy: a dead event stays queued and is fast-forwarded over
+// at pop time without dispatching, so this counter is the cost of lazy
+// deletion made visible.
+func (e *Env) SkippedWakeups() uint64 { return e.stale }
+
+// event is one queued occurrence. Exactly one of three kinds, dispatched
+// without boxing:
+//
+//   - process resume: p != nil, timer == false — resume p if gen still matches
+//   - timer: p != nil, timer == true — Unblock(p) at t if gen still matches
+//     (the mailbox Recv re-wake path, kept closure-free)
+//   - callback: p == nil — run fn on the scheduler
 type event struct {
-	t   float64
-	seq uint64 // tie-breaker: FIFO among simultaneous events
-	p   *Proc  // process to resume, or nil for fn
-	gen uint64 // p's generation when scheduled; stale events are skipped
-	fn  func()
+	t     float64
+	seq   uint64 // tie-breaker: FIFO among simultaneous events
+	p     *Proc
+	gen   uint64 // p's generation when scheduled; stale events are skipped
+	fn    func()
+	timer bool
 }
 
-type eventHeap []event
+// eventQueue is a typed 4-ary min-heap of events ordered by (t, seq). A
+// 4-ary layout halves the tree depth of a binary heap and keeps the hot
+// sift loops on one cache line per level; since (t, seq) keys are unique,
+// pop order equals the binary heap's, element for element.
+type eventQueue struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func evLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// push inserts ev, sifting the hole up in place.
+func (q *eventQueue) push(ev event) {
+	q.ev = append(q.ev, ev)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !evLess(&ev, &q.ev[parent]) {
+			break
+		}
+		q.ev[i] = q.ev[parent]
+		i = parent
+	}
+	q.ev[i] = ev
+}
+
+// pop removes and returns the minimum event. It panics if the queue is
+// empty: popping from a drained queue is a kernel bug, not a user error.
+func (q *eventQueue) pop() event {
+	if len(q.ev) == 0 {
+		panic("sim: pop from empty event queue")
+	}
+	min := q.ev[0]
+	n := len(q.ev) - 1
+	last := q.ev[n]
+	q.ev[n] = event{} // release fn/p references to the GC
+	q.ev = q.ev[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if evLess(&q.ev[j], &q.ev[m]) {
+					m = j
+				}
+			}
+			if !evLess(&q.ev[m], &last) {
+				break
+			}
+			q.ev[i] = q.ev[m]
+			i = m
+		}
+		q.ev[i] = last
+	}
+	return min
 }
 
 func (e *Env) schedule(t float64, p *Proc) {
@@ -79,7 +160,18 @@ func (e *Env) schedule(t float64, p *Proc) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, event{t: t, seq: e.seq, p: p, gen: p.gen})
+	e.queue.push(event{t: t, seq: e.seq, p: p, gen: p.gen})
+}
+
+// timerAt schedules a conditional wake-up: at time t, if p's generation is
+// still gen, p is unblocked at t. This is Recv's re-wake path as a typed
+// event instead of an At closure, so parking allocates nothing.
+func (e *Env) timerAt(t float64, p *Proc, gen uint64) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.queue.push(event{t: t, seq: e.seq, p: p, gen: gen, timer: true})
 }
 
 // At schedules fn to run at virtual time t (clamped to now). fn runs on the
@@ -89,7 +181,7 @@ func (e *Env) At(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, event{t: t, seq: e.seq, fn: fn})
+	e.queue.push(event{t: t, seq: e.seq, fn: fn})
 }
 
 // Proc is a simulated process. All Proc methods must be called only from the
@@ -169,7 +261,7 @@ func (p *Proc) SetTimeScale(f func(now, d float64) float64) { p.scale = f }
 // Block parks the process with no scheduled wake-up; some other process must
 // call Unblock. why is reported in the deadlock error if nothing ever does.
 func (p *Proc) Block(why string) {
-	p.env.blocked[p] = why
+	p.env.blocked[p] = blockedInfo{why: why, since: p.env.now}
 	p.yieldAndWait()
 }
 
@@ -195,6 +287,12 @@ func (p *Proc) Blocked() bool {
 type DeadlockError struct {
 	// Waiting maps each parked process name to the reason it gave to Block.
 	Waiting map[string]string
+	// Count is the number of parked processes (len(Waiting) undercounts when
+	// distinct processes share a name).
+	Count int
+	// EarliestParked is the virtual time the longest-parked process entered
+	// Block — where the pile-up started.
+	EarliestParked float64
 }
 
 func (d *DeadlockError) Error() string {
@@ -203,7 +301,8 @@ func (d *DeadlockError) Error() string {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	s := fmt.Sprintf("sim: deadlock, %d process(es) blocked:", len(names))
+	s := fmt.Sprintf("sim: deadlock, %d process(es) blocked (earliest parked at t=%g):",
+		d.Count, d.EarliestParked)
 	for _, n := range names {
 		s += fmt.Sprintf(" [%s: %s]", n, d.Waiting[n])
 	}
@@ -214,20 +313,30 @@ func (d *DeadlockError) Error() string {
 // *DeadlockError if processes are still blocked when the queue drains, and
 // nil otherwise. Run must be called exactly once per Env.
 func (e *Env) Run() error {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(event)
+	for e.queue.len() > 0 {
+		ev := e.queue.pop()
 		if ev.t < e.now {
 			// schedule clamps, so this is a kernel invariant violation.
 			panic(fmt.Sprintf("sim: time went backwards: %g < %g", ev.t, e.now))
 		}
 		e.now = ev.t
-		if ev.fn != nil {
+		p := ev.p
+		if p == nil {
 			ev.fn()
 			continue
 		}
-		p := ev.p
 		if p.finished || ev.gen != p.gen {
-			continue // stale wake-up superseded by an earlier one
+			// Coarse fast-forward: a cancelled wake-up (its process moved on
+			// or finished) is discarded right here, clock advanced, nothing
+			// dispatched. Runs of dead events — N-1 of the N timers a
+			// repeatedly re-woken receiver leaves behind — drain in this
+			// tight loop without touching the process or the blocked map.
+			e.stale++
+			continue
+		}
+		if ev.timer {
+			p.Unblock(ev.t)
+			continue
 		}
 		if _, stillBlocked := e.blocked[p]; stillBlocked {
 			// Every live event for p was scheduled while p was parked on its
@@ -240,9 +349,16 @@ func (e *Env) Run() error {
 		<-e.yield
 	}
 	if len(e.blocked) > 0 {
-		d := &DeadlockError{Waiting: make(map[string]string, len(e.blocked))}
-		for p, why := range e.blocked {
-			d.Waiting[p.name] = why
+		d := &DeadlockError{
+			Waiting:        make(map[string]string, len(e.blocked)),
+			Count:          len(e.blocked),
+			EarliestParked: math.Inf(1),
+		}
+		for p, info := range e.blocked {
+			d.Waiting[p.name] = info.why
+			if info.since < d.EarliestParked {
+				d.EarliestParked = info.since
+			}
 		}
 		return d
 	}
@@ -287,59 +403,43 @@ func (r *Resource) NextFree() float64 { return r.nextFree }
 // Message is a payload in flight inside a Mailbox, visible to receivers at
 // Ready. Bytes is carried for the benefit of higher layers (cost models,
 // statistics); the kernel does not interpret it.
-type Message struct {
-	Payload interface{}
+type Message[T any] struct {
+	Payload T
 	Bytes   int64
 	Ready   float64
 	seq     uint64
 }
 
-type msgHeap []Message
-
-func (h msgHeap) Len() int { return len(h) }
-func (h msgHeap) Less(i, j int) bool {
-	if h[i].Ready != h[j].Ready {
-		return h[i].Ready < h[j].Ready
-	}
-	return h[i].seq < h[j].seq
-}
-func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(Message)) }
-func (h *msgHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	m := old[n-1]
-	*h = old[:n-1]
-	return m
-}
-
-// Mailbox is an unbounded, ready-time-ordered message queue. Senders deliver
-// with an arrival time (computed by a network model); Recv blocks the
-// receiving process until the earliest message is ready and then returns it.
-type Mailbox struct {
+// Mailbox is an unbounded, ready-time-ordered message queue with typed
+// payloads. Senders deliver with an arrival time (computed by a network
+// model); Recv blocks the receiving process until the earliest message is
+// ready and then returns it. The queue is a typed 4-ary min-heap by
+// (Ready, seq); like the event queue, unique keys make pop order
+// arity-independent.
+type Mailbox[T any] struct {
 	env     *Env
 	name    string
-	q       msgHeap
+	q       []Message[T]
 	waiters []*Proc
 }
 
-// NewMailbox returns an empty mailbox.
-func (e *Env) NewMailbox(name string) *Mailbox {
-	return &Mailbox{env: e, name: name}
+// NewMailbox returns an empty mailbox with payload type T owned by e.
+func NewMailbox[T any](e *Env, name string) *Mailbox[T] {
+	return &Mailbox[T]{env: e, name: name}
 }
 
 // Len returns the number of queued messages (ready or not).
-func (mb *Mailbox) Len() int { return len(mb.q) }
+func (mb *Mailbox[T]) Len() int { return len(mb.q) }
 
 // Send queues payload, visible to receivers at time ready (clamped to now).
 // Send never blocks; it may be called from process context or from an At
 // callback.
-func (mb *Mailbox) Send(payload interface{}, bytes int64, ready float64) {
+func (mb *Mailbox[T]) Send(payload T, bytes int64, ready float64) {
 	if ready < mb.env.now {
 		ready = mb.env.now
 	}
 	mb.env.seq++
-	heap.Push(&mb.q, Message{Payload: payload, Bytes: bytes, Ready: ready, seq: mb.env.seq})
+	mb.push(Message[T]{Payload: payload, Bytes: bytes, Ready: ready, seq: mb.env.seq})
 	// Wake waiters now; each re-checks readiness in its Recv loop and, if
 	// the earliest message is still in flight, re-parks with a timer at its
 	// ready time. Waking at `now` (not at the ready time) is what lets a
@@ -347,28 +447,22 @@ func (mb *Mailbox) Send(payload interface{}, bytes int64, ready float64) {
 	for _, w := range mb.waiters {
 		w.Unblock(mb.env.now)
 	}
-	mb.waiters = nil
+	mb.waiters = mb.waiters[:0]
 }
 
 // Recv blocks p until a message is ready, then removes and returns the
 // earliest-ready one, advancing p's clock to its ready time.
-func (mb *Mailbox) Recv(p *Proc) Message {
+func (mb *Mailbox[T]) Recv(p *Proc) Message[T] {
 	for {
 		why := "recv " + mb.name
 		if len(mb.q) > 0 {
-			earliest := mb.q[0]
-			if earliest.Ready <= p.env.now {
-				return heap.Pop(&mb.q).(Message)
+			if mb.q[0].Ready <= p.env.now {
+				return mb.pop()
 			}
 			// Park until the earliest known ready time; an earlier delivery
 			// re-wakes us sooner via the waiters list. The timer guards on
 			// gen so it becomes a no-op if anything woke p first.
-			t, gen := earliest.Ready, p.gen
-			p.env.At(t, func() {
-				if p.gen == gen {
-					p.Unblock(t)
-				}
-			})
+			p.env.timerAt(mb.q[0].Ready, p, p.gen)
 			why = "recv(pending) " + mb.name
 		}
 		mb.waiters = append(mb.waiters, p)
@@ -378,14 +472,71 @@ func (mb *Mailbox) Recv(p *Proc) Message {
 }
 
 // TryRecv returns the earliest message if one is ready now, without blocking.
-func (mb *Mailbox) TryRecv() (Message, bool) {
+func (mb *Mailbox[T]) TryRecv() (Message[T], bool) {
 	if len(mb.q) > 0 && mb.q[0].Ready <= mb.env.now {
-		return heap.Pop(&mb.q).(Message), true
+		return mb.pop(), true
 	}
-	return Message{}, false
+	var zero Message[T]
+	return zero, false
 }
 
-func (mb *Mailbox) dropWaiter(p *Proc) {
+func (mb *Mailbox[T]) push(m Message[T]) {
+	mb.q = append(mb.q, m)
+	i := len(mb.q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !msgLess(&m, &mb.q[parent]) {
+			break
+		}
+		mb.q[i] = mb.q[parent]
+		i = parent
+	}
+	mb.q[i] = m
+}
+
+func (mb *Mailbox[T]) pop() Message[T] {
+	min := mb.q[0]
+	n := len(mb.q) - 1
+	last := mb.q[n]
+	var zero Message[T]
+	mb.q[n] = zero // release the payload to the GC
+	mb.q = mb.q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if msgLess(&mb.q[j], &mb.q[m]) {
+					m = j
+				}
+			}
+			if !msgLess(&mb.q[m], &last) {
+				break
+			}
+			mb.q[i] = mb.q[m]
+			i = m
+		}
+		mb.q[i] = last
+	}
+	return min
+}
+
+func msgLess[T any](a, b *Message[T]) bool {
+	if a.Ready != b.Ready {
+		return a.Ready < b.Ready
+	}
+	return a.seq < b.seq
+}
+
+func (mb *Mailbox[T]) dropWaiter(p *Proc) {
 	for i, w := range mb.waiters {
 		if w == p {
 			mb.waiters = append(mb.waiters[:i], mb.waiters[i+1:]...)

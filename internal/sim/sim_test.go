@@ -74,12 +74,12 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 
 func TestMailboxBasic(t *testing.T) {
 	e := NewEnv()
-	mb := e.NewMailbox("mb")
+	mb := NewMailbox[string](e, "mb")
 	var gotAt float64
 	var got string
 	e.Spawn("recv", func(p *Proc) {
 		m := mb.Recv(p)
-		got = m.Payload.(string)
+		got = m.Payload
 		gotAt = p.Now()
 	})
 	e.Spawn("send", func(p *Proc) {
@@ -96,7 +96,7 @@ func TestMailboxBasic(t *testing.T) {
 
 func TestMailboxReadyBeforeRecv(t *testing.T) {
 	e := NewEnv()
-	mb := e.NewMailbox("mb")
+	mb := NewMailbox[string](e, "mb")
 	mb.Send("x", 1, 0)
 	var gotAt float64 = -1
 	e.Spawn("recv", func(p *Proc) {
@@ -116,15 +116,15 @@ func TestMailboxReadyBeforeRecv(t *testing.T) {
 // on must wake the receiver at the earlier time and be returned first.
 func TestMailboxEarlierMessageWins(t *testing.T) {
 	e := NewEnv()
-	mb := e.NewMailbox("mb")
+	mb := NewMailbox[string](e, "mb")
 	var first string
 	var firstAt float64
 	e.Spawn("recv", func(p *Proc) {
 		m := mb.Recv(p)
-		first = m.Payload.(string)
+		first = m.Payload
 		firstAt = p.Now()
 		m2 := mb.Recv(p)
-		if m2.Payload.(string) != "slow" {
+		if m2.Payload != "slow" {
 			t.Errorf("second message = %v, want slow", m2.Payload)
 		}
 	})
@@ -143,7 +143,7 @@ func TestMailboxEarlierMessageWins(t *testing.T) {
 
 func TestMailboxLaterNotReadyMessageDoesNotDelay(t *testing.T) {
 	e := NewEnv()
-	mb := e.NewMailbox("mb")
+	mb := NewMailbox[string](e, "mb")
 	var gotAt float64
 	e.Spawn("recv", func(p *Proc) {
 		mb.Recv(p)
@@ -164,7 +164,7 @@ func TestMailboxLaterNotReadyMessageDoesNotDelay(t *testing.T) {
 
 func TestTryRecv(t *testing.T) {
 	e := NewEnv()
-	mb := e.NewMailbox("mb")
+	mb := NewMailbox[string](e, "mb")
 	e.Spawn("p", func(p *Proc) {
 		if _, ok := mb.TryRecv(); ok {
 			t.Error("TryRecv on empty mailbox returned ok")
@@ -175,7 +175,7 @@ func TestTryRecv(t *testing.T) {
 		}
 		p.Sleep(5)
 		m, ok := mb.TryRecv()
-		if !ok || m.Payload.(string) != "x" {
+		if !ok || m.Payload != "x" {
 			t.Errorf("TryRecv = %v, %v; want x, true", m.Payload, ok)
 		}
 	})
@@ -186,7 +186,7 @@ func TestTryRecv(t *testing.T) {
 
 func TestDeadlockDetection(t *testing.T) {
 	e := NewEnv()
-	mb := e.NewMailbox("never")
+	mb := NewMailbox[string](e, "never")
 	e.Spawn("stuck", func(p *Proc) {
 		mb.Recv(p)
 	})
@@ -294,9 +294,9 @@ func TestDeterminism(t *testing.T) {
 	run := func(seed int64) string {
 		rng := rand.New(rand.NewSource(seed))
 		e := NewEnv()
-		mbs := make([]*Mailbox, 4)
+		mbs := make([]*Mailbox[int], 4)
 		for i := range mbs {
-			mbs[i] = e.NewMailbox(fmt.Sprintf("mb%d", i))
+			mbs[i] = NewMailbox[int](e, fmt.Sprintf("mb%d", i))
 		}
 		res := e.NewResource("res")
 		var trace strings.Builder
@@ -341,7 +341,7 @@ func TestDeterminism(t *testing.T) {
 func TestManyProcessesStress(t *testing.T) {
 	e := NewEnv()
 	const n = 2000
-	mb := e.NewMailbox("sink")
+	mb := NewMailbox[int](e, "sink")
 	for i := 0; i < n; i++ {
 		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
 			p.Sleep(float64(1))
@@ -352,7 +352,7 @@ func TestManyProcessesStress(t *testing.T) {
 	e.Spawn("collector", func(p *Proc) {
 		for i := 0; i < n; i++ {
 			m := mb.Recv(p)
-			total += m.Payload.(int)
+			total += m.Payload
 		}
 	})
 	if err := e.Run(); err != nil {
@@ -393,7 +393,7 @@ func TestQuickMailboxReadyOrder(t *testing.T) {
 			readies[i] = rng.Float64() * 10
 		}
 		e := NewEnv()
-		mb := e.NewMailbox("mb")
+		mb := NewMailbox[any](e, "mb")
 		var got []float64
 		e.Spawn("recv", func(p *Proc) {
 			for i := 0; i < n; i++ {
