@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ccexp [-scale 0.1] [-quick] [-memo] [-policy easy-backfill] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs|sched-policies|multiuser|profile-jobs ...]
+//	ccexp [-scale 0.1] [-quick] [-memo] [-policy easy-backfill] [-bench-dir d] [all|table1|fig1|fig2|fig3|fig9|fig10|fig11|fig12|fig13|faults|jobs|sched-policies|multiuser|profile-jobs|explain ...]
 //	ccexp -experiment jobs -trace trace.json -metrics metrics.txt
 //
 // With no experiment arguments it lists the available experiments. -scale
@@ -29,6 +29,15 @@
 // rule fired). Like -trace, these require exactly one experiment:
 //
 //	ccexp -experiment jobs -events events.jsonl -serve :9090 -slo-strict
+//
+// -explain records a per-round scheduler decision trace (repro.decisions.v1
+// lines interleaved into -events, served live at /decisions with -serve) and
+// prints the per-job wait attribution after the run. The explain experiment
+// goes further: it replays the recorded submission stream under alternative
+// policies and reports counterfactual start-time deltas for one job. Flags
+// may follow the experiment name, so the natural spelling works:
+//
+//	ccexp explain -job 3 -k fifo,easy-backfill
 package main
 
 import (
@@ -70,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchDir := fl.String("bench-dir", "", "directory to write BENCH_<id>.json metric files to (created if missing)")
 	memo := fl.Bool("memo", false, "enable the cluster result cache + read coalescer on experiment machines (multiuser measures both settings itself)")
 	policy := fl.String("policy", "", "cluster scheduling policy for the queued-workload experiments: "+policyList()+" (\"\" = fifo; sched-policies sweeps all)")
+	explainJob := fl.Int("job", -1, "explain experiment: submission index of the job to attribute (-1 = the longest-waiting job)")
+	explainK := fl.String("k", "", "explain experiment: comma-separated policy set to replay under; first entry is the factual policy (\"\" = fifo,easy-backfill)")
 	traceOut := fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) here; needs exactly one experiment")
 	metricsOut := fl.String("metrics", "", "write the metrics-registry dump here; needs exactly one experiment")
 	var tele obscli.Flags
@@ -89,7 +100,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
-	rest := append([]string(expFlags), fl.Args()...)
+	// flag stops at the first positional argument, but `ccexp explain -job 3`
+	// reads naturally — so alternate between collecting positionals and
+	// re-parsing flag runs until the argument list is exhausted.
+	var rest []string
+	for tail := fl.Args(); len(tail) > 0; tail = fl.Args() {
+		if len(tail[0]) > 1 && strings.HasPrefix(tail[0], "-") {
+			if err := fl.Parse(tail); err != nil {
+				return 2
+			}
+			continue
+		}
+		rest = append(rest, tail[0])
+		if err := fl.Parse(tail[1:]); err != nil {
+			return 2
+		}
+	}
+	rest = append([]string(expFlags), rest...)
 	if len(rest) == 0 {
 		fl.Usage()
 		return 2
@@ -98,7 +125,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccexp: unknown -policy %q (have %s)\n", *policy, policyList())
 		return 2
 	}
-	cfg := experiments.Config{Scale: *scale, Quick: *quick, Memo: *memo, Policy: *policy}
+	cfg := experiments.Config{Scale: *scale, Quick: *quick, Memo: *memo, Policy: *policy,
+		ExplainJob: *explainJob, ExplainPolicies: *explainK}
 
 	var runners []experiments.Runner
 	for _, a := range rest {

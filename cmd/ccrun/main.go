@@ -24,7 +24,11 @@
 // -trace writes a Chrome trace-event JSON file of the run's span hierarchy
 // (scheduler, cc phases, adio iterations, pfs requests, mpi messages) for
 // ui.perfetto.dev; -metrics writes the matching metrics-registry dump. Both
-// are byte-identical across runs of the same command line.
+// are byte-identical across runs of the same command line. The rest of the
+// telemetry plane (-events, -serve, -dash, -slo, -slo-strict) rides the same
+// tracer, and -explain adds the scheduler's per-round decision trace
+// (repro.decisions.v1 lines in the event log, served at /decisions) plus a
+// per-job wait attribution printed after the run.
 package main
 
 import (

@@ -91,6 +91,13 @@ type Cluster struct {
 	tenantUse    map[string]float64 // rank-seconds of service charged per tenant
 	tenantWeight map[string]float64 // fair-share weights (Session.SetWeight)
 
+	// Decision tracing (decisions.go); all dormant unless the obs tracer has
+	// decision tracing enabled.
+	decRound int              // admission-round counter (1-based in records)
+	decBlame map[int]decBlame // per-round policy blames, keyed by job seq
+	decAdmit decAdmitTag      // admission reason in flight (AdmitBackfilled)
+	schedQ   *Queue           // the scheduler's queue view, for snapshots
+
 	pending    []*JobResult // FIFO admission queue
 	futureSubs int          // SubmitAt callbacks not yet fired
 	results    []*JobResult // every submission, in submission order
@@ -395,6 +402,7 @@ func (c *Cluster) publishTelemetry(now float64, queueDepth, ranksBusy int) {
 		OSTReadLat: c.fs.OSTReadLatency(),
 		Reg:        ot.Metrics().Snapshot(),
 		SLO:        slo.Status(),
+		Decisions:  ot.DecisionsSnapshot(),
 	})
 }
 

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/obs/decision"
+)
+
+// This file is the scheduler's decision-trace emission: when decision
+// tracing is enabled on the installed obs tracer (obs.Tracer.EnableDecisions
+// — opt-in, driven by the CLIs' -explain flag and by -serve), every
+// admission-loop round records one typed decision.Record per pending job
+// (admitted / dropped / memo-served / skipped-with-reason), with the
+// blocking job and a free-rank snapshot attached. Emission happens at the
+// same program points as the existing event-log instants (deadline-drop,
+// backfill, memo-hit, memo-wait, coalesce-attach), from the same values, so
+// the two streams can never disagree. Recording is observation only: it
+// never touches the virtual clock or the schedule, so enabling it leaves
+// results, makespans, and the repro.events.v1 event stream bit-identical.
+
+// decBlame is a policy-supplied typed skip reason for one pending job,
+// valid for the current round only (see Queue.Blame).
+type decBlame struct {
+	reason  decision.Reason
+	blocked *JobResult // may be nil
+	shadow  float64
+}
+
+// decAdmitTag carries a policy-supplied admission reason (backfill + shadow
+// time) into Queue.Admit for the decision record; see Queue.AdmitBackfilled.
+type decAdmitTag struct {
+	reason decision.Reason
+	shadow float64
+	set    bool
+}
+
+// decisionsOn reports whether scheduler decision tracing is enabled.
+func (c *Cluster) decisionsOn() bool { return c.obs.DecisionsEnabled() }
+
+// newDecision fills the common fields of a decision record for jr at the
+// current virtual time: round, policy, job identity, width, wait so far,
+// and the free-rank snapshot.
+func (c *Cluster) newDecision(jr *JobResult, outcome decision.Outcome) decision.Record {
+	now := c.env.Now()
+	rec := decision.Record{
+		Round: c.decRound, T: now, Policy: c.policy.Name(),
+		Job: jr.Job.Name, Seq: jr.pid - 1,
+		Outcome:      outcome,
+		Width:        jr.Job.Ranks,
+		Wait:         now - jr.Submit,
+		BlockedBySeq: -1,
+	}
+	if q := c.schedQ; q != nil {
+		rec.Free = q.pool.free
+		rec.FreeRanks = decision.FormatRanks(q.pool.ranks(nil))
+	}
+	return rec
+}
+
+// blameRecord attaches the blocking job to a record (nil leaves it absent).
+func blameRecord(rec *decision.Record, by *JobResult) {
+	if by != nil {
+		rec.BlockedBy, rec.BlockedBySeq = by.Job.Name, by.pid-1
+	}
+}
+
+// Blame records the policy's typed reason for leaving pending job i queued
+// this round, overriding the mechanical inference in the round's skip
+// records: reason, the blocking job's submission sequence (-1 for none),
+// and — for shadow-reservation blames — the reserved start time. Cleared
+// when the round's skip records are emitted. A no-op unless decision
+// tracing is enabled, so policies may call it unconditionally.
+func (q *Queue) Blame(i int, reason decision.Reason, blockedSeq int, shadow float64) {
+	c := q.c
+	if !c.decisionsOn() {
+		return
+	}
+	if c.decBlame == nil {
+		c.decBlame = make(map[int]decBlame)
+	}
+	var by *JobResult
+	if blockedSeq >= 0 && blockedSeq < len(c.results) {
+		by = c.results[blockedSeq]
+	}
+	c.decBlame[c.pending[i].pid-1] = decBlame{reason: reason, blocked: by, shadow: shadow}
+}
+
+// blameHeadOfLine tags every pending job that would fit right now as
+// head-of-line blocked behind the policy's chosen-but-unfitting best
+// choice. Reordering policies (priority, fairshare) call this before
+// blocking the queue, because the mechanical inference below assumes
+// queue-order consideration.
+func blameHeadOfLine(q *Queue, best int) {
+	if !q.c.decisionsOn() {
+		return
+	}
+	bseq := q.c.pending[best].pid - 1
+	for i := 0; i < q.Len(); i++ {
+		if i != best && q.Fits(i) {
+			q.Blame(i, decision.HeadOfLine, bseq, 0)
+		}
+	}
+}
+
+// estEndOf is the running job's estimated completion (+Inf without an
+// estimate) — the decision layer's tie-break clock for picking blockers.
+func estEndOf(jr *JobResult) float64 {
+	if jr.Job.EstCost > 0 {
+		return jr.Start + jr.Job.EstCost
+	}
+	return math.Inf(1)
+}
+
+// earliestEndingRunning picks the running job estimated to finish first
+// (admission order breaks ties) — the concurrency-cap blocker.
+func earliestEndingRunning(q *Queue) *JobResult {
+	var best *JobResult
+	for _, r := range q.running {
+		if best == nil || estEndOf(r) < estEndOf(best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// rankBlocker picks the running job whose completion first accumulates
+// enough free ranks for width, walking the running set in estimated-
+// completion order (ties by admission order, no-estimate jobs last). With
+// every estimate unknown this degrades to admission order — still a
+// deterministic, honest "waiting on this job's ranks" answer.
+func rankBlocker(q *Queue, width int) *JobResult {
+	idx := make([]int, len(q.running))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return estEndOf(q.running[idx[a]]) < estEndOf(q.running[idx[b]])
+	})
+	avail := q.pool.free
+	for _, i := range idx {
+		r := q.running[i]
+		avail += len(r.Ranks)
+		if avail >= width {
+			return r
+		}
+	}
+	if n := len(q.running); n > 0 {
+		return q.running[n-1]
+	}
+	return nil
+}
+
+// headBlocker is the mechanical head-of-line cause under queue-order
+// policies: the first earlier pending job that does not itself fit, falling
+// back to the queue head.
+func headBlocker(c *Cluster, q *Queue, jr *JobResult) *JobResult {
+	for _, p := range c.pending {
+		if p == jr {
+			break
+		}
+		if p.Job.Ranks > q.pool.free {
+			return p
+		}
+	}
+	if len(c.pending) > 0 && c.pending[0] != jr {
+		return c.pending[0]
+	}
+	return nil
+}
+
+// emitSkipDecisions closes one admission round: every job still pending
+// gets a skip record carrying the policy's Blame when one was recorded, or
+// a mechanically inferred reason otherwise — concurrency cap first (it
+// blocks regardless of width), then insufficient ranks, then head-of-line.
+// Runs after Policy.Admit at every round; the blame map is always cleared
+// so stale blames cannot leak across rounds.
+func (c *Cluster) emitSkipDecisions(q *Queue) {
+	if !c.decisionsOn() {
+		clear(c.decBlame)
+		return
+	}
+	for _, jr := range c.pending {
+		rec := c.newDecision(jr, decision.Skip)
+		if bl, ok := c.decBlame[jr.pid-1]; ok {
+			rec.Reason = bl.reason
+			rec.Shadow = bl.shadow
+			blameRecord(&rec, bl.blocked)
+		} else if !q.CapFree() {
+			rec.Reason = decision.ConcurrencyCap
+			blameRecord(&rec, earliestEndingRunning(q))
+		} else if jr.Job.Ranks > q.pool.free {
+			rec.Reason = decision.InsufficientRanks
+			blameRecord(&rec, rankBlocker(q, jr.Job.Ranks))
+		} else {
+			rec.Reason = decision.HeadOfLine
+			blameRecord(&rec, headBlocker(c, q, jr))
+		}
+		c.obs.Decision(rec)
+	}
+	clear(c.decBlame)
+}

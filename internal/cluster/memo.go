@@ -6,6 +6,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/layout"
 	"repro/internal/obs"
+	"repro/internal/obs/decision"
 )
 
 // This file implements cross-job result memoization and shared-window read
@@ -109,6 +110,9 @@ func (c *Cluster) memoTryComplete(jr *JobResult, now float64) bool {
 			m.Counter("cluster_jobs_completed").Inc()
 			m.Histogram("cluster_turnaround_seconds").Observe(now - jr.Submit)
 		}
+		if c.decisionsOn() {
+			c.obs.Decision(c.newDecision(jr, decision.MemoHit))
+		}
 		return true
 	}
 	if donor, ok := c.memo.running[meta.memoKey]; ok && donor.cc.gen == gen {
@@ -120,6 +124,12 @@ func (c *Cluster) memoTryComplete(jr *JobResult, now float64) bool {
 			ot.SetThreadName(0, jr.pid-1, "job "+jr.Job.Name)
 			ot.Instant(0, jr.pid-1, "memo-wait", "sched", now,
 				obs.S("job", jr.Job.Name), obs.S("donor", donor.Job.Name))
+		}
+		if c.decisionsOn() {
+			rec := c.newDecision(jr, decision.MemoWait)
+			rec.Reason = decision.WaitingOnTwin
+			blameRecord(&rec, donor)
+			c.obs.Decision(rec)
 		}
 		return true
 	}
@@ -177,6 +187,12 @@ func (c *Cluster) memoAttach(jr, p *JobResult, now float64) bool {
 			ot.Instant(0, p.pid-1, "memo-wait", "sched", now,
 				obs.S("job", p.Job.Name), obs.S("donor", jr.Job.Name))
 		}
+		if c.decisionsOn() {
+			rec := c.newDecision(p, decision.MemoWait)
+			rec.Reason = decision.WaitingOnTwin
+			blameRecord(&rec, jr)
+			c.obs.Decision(rec)
+		}
 		return true
 	}
 	// Coalescing requires both jobs on the collective-computing path: the
@@ -215,6 +231,12 @@ func (c *Cluster) memoAttach(jr, p *JobResult, now float64) bool {
 		ot.Instant(0, p.pid-1, "coalesce-attach", "sched", now,
 			obs.S("job", p.Job.Name), obs.S("donor", jr.Job.Name),
 			obs.I("bytes_saved", f.bytes))
+	}
+	if c.decisionsOn() {
+		rec := c.newDecision(p, decision.Coalesce)
+		rec.Reason = decision.WaitingOnTwin
+		blameRecord(&rec, jr)
+		c.obs.Decision(rec)
 	}
 	return true
 }

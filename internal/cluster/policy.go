@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adio"
 	"repro/internal/obs"
+	"repro/internal/obs/decision"
 	"repro/internal/pfs"
 )
 
@@ -188,6 +189,15 @@ func (q *Queue) Job(i int) QueuedJob {
 	}
 }
 
+// QueuedJobs returns the policy view of every pending job, in queue order.
+func (q *Queue) QueuedJobs() []QueuedJob {
+	out := make([]QueuedJob, q.Len())
+	for i := range out {
+		out[i] = q.Job(i)
+	}
+	return out
+}
+
 // Expired reports whether pending job i's deadline has passed.
 func (q *Queue) Expired(i int) bool {
 	jr := q.c.pending[i]
@@ -273,6 +283,14 @@ func (q *Queue) Drop(i int) {
 		m.Counter("cluster_jobs_dropped").Inc()
 		m.Counter("cluster_deadline_misses").Inc()
 	}
+	// Decision record from the same values as the deadline-drop instant
+	// above (same job, same now, same waited), so the two streams can never
+	// disagree.
+	if c.decisionsOn() {
+		rec := c.newDecision(jr, decision.Drop)
+		rec.Reason = decision.DeadlineDrop
+		c.obs.Decision(rec)
+	}
 }
 
 // TryMemo serves pending job i from the memo layer when possible (cached
@@ -303,6 +321,14 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 			j.Name, j.Ranks, q.pool.free))
 	}
 	now := c.env.Now()
+	// Snapshot the free set before placement: the decision record describes
+	// the state the admission decision was made against.
+	var preFree int
+	var preFreeStr string
+	if c.decisionsOn() {
+		preFree = q.pool.free
+		preFreeStr = decision.FormatRanks(q.pool.ranks(nil))
+	}
 	c.pending = append(c.pending[:i], c.pending[i+1:]...)
 	var members []int
 	if ranks == nil {
@@ -326,6 +352,21 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 	jr.Start = now
 	jr.Ranks = members
 	c.tenantUse[jr.tenant()] += float64(j.Ranks) * j.EstCost
+	// Admission decision record, before memoAdmit so the donor's record
+	// precedes any memo-wait/coalesce records of jobs it absorbs. A policy
+	// admitting through AdmitBackfilled tags the record via c.decAdmit.
+	if c.decisionsOn() {
+		rec := c.newDecision(jr, decision.Admit)
+		rec.Free, rec.FreeRanks = preFree, preFreeStr
+		placed := append([]int(nil), members...)
+		sort.Ints(placed)
+		rec.Ranks = decision.FormatRanks(placed)
+		if c.decAdmit.set {
+			rec.Reason = c.decAdmit.reason
+			rec.Shadow = c.decAdmit.shadow
+		}
+		c.obs.Decision(rec)
+	}
 	// Register jr as an in-flight donor and fuse any queued jobs that can
 	// ride on its pass; must precede the assignment sends so the fused
 	// consumer list is final before ranks start.
@@ -362,6 +403,26 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 	}
 	for _, wr := range members {
 		c.assign[wr].Send(ctx, 0, now)
+	}
+	return jr
+}
+
+// AdmitBackfilled admits pending job i as an EASY backfill ahead of a
+// blocked head holding a reservation at shadow: the same mechanism as
+// Admit, plus the backfill telemetry (counter + event-log instant) and the
+// decision record's "backfill" tag. Instant and record are derived from the
+// same job and shadow values in one place, so the event log and the
+// decision stream can never disagree about a backfill.
+func (q *Queue) AdmitBackfilled(i int, ranks []int, shadow float64) *JobResult {
+	c := q.c
+	c.decAdmit = decAdmitTag{reason: decision.Backfill, shadow: shadow, set: true}
+	jr := q.Admit(i, ranks)
+	c.decAdmit = decAdmitTag{}
+	if ot := c.obs; ot != nil {
+		ot.Metrics().Counter("cluster_jobs_backfilled").Inc()
+		ot.Instant(0, jr.pid-1, "backfill", "sched", c.env.Now(),
+			obs.S("job", jr.Job.Name),
+			obs.F("reserved_head_at", shadow))
 	}
 	return jr
 }
@@ -571,16 +632,15 @@ admit:
 			cand := q.Job(i)
 			safe := cand.Width <= extra ||
 				(cand.EstCost > 0 && q.Now()+cand.EstCost <= shadow+slackEps)
-			if cand.Width <= q.Free() && safe {
-				jr := q.Admit(i, nil)
-				p.backfilled++
-				if ot := p.c.obs; ot != nil {
-					ot.Metrics().Counter("cluster_jobs_backfilled").Inc()
-					ot.Instant(0, jr.pid-1, "backfill", "sched", q.Now(),
-						obs.S("job", jr.Job.Name),
-						obs.F("reserved_head_at", shadow))
+			if cand.Width <= q.Free() {
+				if safe {
+					q.AdmitBackfilled(i, nil, shadow)
+					p.backfilled++
+					continue admit // queue and free set changed: restart the round
 				}
-				continue admit // queue and free set changed: restart the round
+				// Fits the free ranks but could delay the head's reservation:
+				// the typed cause for this round's skip record.
+				q.Blame(i, decision.ShadowReservation, p.resSeq, shadow)
 			}
 			i++
 		}
@@ -664,6 +724,7 @@ func (*priorityPolicy) Admit(q *Queue) {
 			continue
 		}
 		if !q.Fits(best) {
+			blameHeadOfLine(q, best)
 			return
 		}
 		q.Admit(best, nil)
@@ -703,6 +764,7 @@ func (*fairsharePolicy) Admit(q *Queue) {
 			continue
 		}
 		if !q.Fits(best) {
+			blameHeadOfLine(q, best)
 			return
 		}
 		q.Admit(best, nil)

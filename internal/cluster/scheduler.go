@@ -243,12 +243,18 @@ func (c *Cluster) worker(r *mpi.Rank) {
 // every scheduling event.
 func (c *Cluster) scheduler(p *sim.Proc) {
 	q := &Queue{c: c, pool: newRankPool(c.spec.Ranks)}
+	c.schedQ = q
 
 	for {
 		// One admission round: the policy drops expired jobs it considers,
 		// serves what it can from the memo layer, and starts every pending
-		// job it decides should run now.
+		// job it decides should run now. Decision tracing stamps each round
+		// (decisions.go): admissions/drops/memo completions record their
+		// outcome inline in the verbs, and emitSkipDecisions closes the
+		// round with a typed record per still-pending job.
+		c.decRound++
 		c.policy.Admit(q)
+		c.emitSkipDecisions(q)
 
 		if len(q.running) == 0 && len(c.pending) == 0 && c.futureSubs == 0 {
 			break

@@ -32,6 +32,17 @@ type Config struct {
 	// shared machines); "" keeps the default fifo. The sched-policies
 	// experiment ignores it — it sweeps every registered policy.
 	Policy string
+	// ExplainJob selects the job the explain experiment attributes: the
+	// submission index (seq) of the job, or a negative value (the zero-value
+	// Config uses 0, so ccexp passes -1 explicitly) to auto-pick the job with
+	// the longest queue wait under the factual policy.
+	ExplainJob int
+	// ExplainPolicies is the comma-separated policy set the explain
+	// experiment replays the recorded submission stream under. The first
+	// entry is the factual policy (must reproduce the recorded schedule
+	// byte-identically); the rest are counterfactuals. "" means
+	// "fifo,easy-backfill".
+	ExplainPolicies string
 }
 
 // Defaults fills unset fields.

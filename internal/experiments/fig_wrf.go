@@ -135,6 +135,7 @@ func All() []Runner {
 		{"sched-policies", "Scheduling policy ablation (fifo / backfill / priority / fairshare)", SchedPolicies},
 		{"multiuser", "Multi-user serving with result memoization + read coalescing", Multiuser},
 		{"profile-jobs", "Per-job phase breakdown + critical path (observability)", ProfileJobs},
+		{"explain", "Decision-trace counterfactual what-if replay + wait attribution", Explain},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/mpi"
@@ -179,6 +180,9 @@ func SchedPolicies(cfg Config) (*Table, error) {
 
 	policies := cluster.PolicyNames()
 	outcomes := map[string]schedOutcome{}
+	// Wall-clock timing spans the whole sweep — the simulator-speed headline
+	// for this experiment, bench-only so stdout stays machine-independent.
+	wallStart := time.Now()
 	for _, pol := range policies {
 		var ot *obs.Tracer
 		if pol == "easy-backfill" {
@@ -190,6 +194,7 @@ func SchedPolicies(cfg Config) (*Table, error) {
 		}
 		outcomes[pol] = o
 	}
+	wall := time.Since(wallStart).Seconds()
 
 	t := &Table{
 		ID:    "sched-policies",
@@ -209,6 +214,14 @@ func SchedPolicies(cfg Config) (*Table, error) {
 		bench["jain_"+key] = o.jain
 	}
 	bench["backfilled_easy_backfill"] = float64(outcomes["easy-backfill"].backfilled)
+	// wall_* keys are machine-dependent; the nightly drift gate treats them
+	// as informational (loose threshold), not regressions.
+	var virtTotal float64
+	for _, pol := range policies {
+		virtTotal += outcomes[pol].makespan
+	}
+	bench["wall_seconds_sweep"] = wall
+	bench["wall_per_virtual"] = wall / virtTotal
 	t.Bench = bench
 
 	fifo, easy, fair := outcomes["fifo"], outcomes["easy-backfill"], outcomes["fairshare"]

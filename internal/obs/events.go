@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs/decision"
 )
 
 // This file is the streaming structured event log of the telemetry plane:
@@ -162,6 +164,19 @@ func (s *JSONLSink) Emit(e Event) {
 	_, s.err = s.bw.Write(s.buf)
 }
 
+// EmitDecision implements decision.Sink: scheduler decision records land in
+// the same JSONL stream as the events, in emission order, as canonical
+// repro.decisions.v1 lines (extract them with decision.ReadLog; ReadEvents
+// skips them).
+func (s *JSONLSink) EmitDecision(rec decision.Record) {
+	if s.err != nil {
+		return
+	}
+	s.buf = decision.AppendJSON(s.buf[:0], rec)
+	s.buf = append(s.buf, '\n')
+	_, s.err = s.bw.Write(s.buf)
+}
+
 // Flush drains the buffer to the underlying writer.
 func (s *JSONLSink) Flush() error {
 	if s.err != nil {
@@ -199,6 +214,11 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 	for sc.Scan() {
 		line++
 		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		// Decision records share the stream but have their own schema and
+		// reader (decision.ReadLog).
+		if decision.IsLine(sc.Bytes()) {
 			continue
 		}
 		var e Event

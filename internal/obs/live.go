@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync"
+
+	"repro/internal/obs/decision"
 )
 
 // This file is the live side of the telemetry plane. The simulation runs
@@ -44,6 +46,9 @@ type Frame struct {
 	Reg *Registry
 	// SLO is the rule engine's status at this round (nil when no engine).
 	SLO []SLOStatus
+	// Decisions is the scheduler decision stream recorded so far (nil unless
+	// decision tracing is enabled) — the /decisions endpoint's payload.
+	Decisions []decision.Record
 }
 
 // samplePoint is one (queue depth, ranks busy) history sample for the
@@ -118,9 +123,12 @@ func (l *Live) History() (queueDepth, ranksBusy []float64) {
 
 // TelemetryHandler serves the live telemetry endpoints over l:
 //
-//	/metrics — the latest frame's registry in Prometheus text format
-//	/healthz — liveness JSON: {"ok":true,"frames":N,"virtual_now":...}
-//	/jobs    — the latest frame's job table as JSON
+//	/metrics   — the latest frame's registry in Prometheus text format
+//	/healthz   — liveness JSON: {"ok":true,"frames":N,"virtual_now":...}
+//	/jobs      — the latest frame's job table as JSON
+//	/decisions — the scheduler decision stream (repro.decisions.v1 records)
+//	             recorded up to the latest frame; empty unless decision
+//	             tracing is enabled (-explain, or any -serve run)
 //
 // Before the first publish, /metrics serves an empty (but valid) exposition
 // and /healthz reports zero frames, so scrapers can poll from the moment the
@@ -155,6 +163,17 @@ func TelemetryHandler(l *Live) http.Handler {
 			jobs = f.Jobs
 		}
 		writeJSON(w, jobs)
+	})
+	mux.HandleFunc("/decisions", func(w http.ResponseWriter, req *http.Request) {
+		f := l.Latest()
+		resp := struct {
+			Schema    string            `json:"schema"`
+			Decisions []decision.Record `json:"decisions"`
+		}{Schema: decision.Schema, Decisions: []decision.Record{}}
+		if f != nil && f.Decisions != nil {
+			resp.Decisions = f.Decisions
+		}
+		writeJSON(w, resp)
 	})
 	return mux
 }

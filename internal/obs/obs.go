@@ -17,6 +17,7 @@ package obs
 import (
 	"strconv"
 
+	"repro/internal/obs/decision"
 	"repro/internal/trace"
 )
 
@@ -84,6 +85,12 @@ type Tracer struct {
 	sink EventSink
 	live *Live
 	slo  *SLO
+
+	// Decision tracing (see internal/obs/decision): opt-in, because decision
+	// records land in the event log and default-off keeps existing golden
+	// event logs byte-stable.
+	decOn     bool
+	decisions []decision.Record
 }
 
 // New returns an empty, enabled tracer with a fresh metrics registry.
@@ -158,6 +165,52 @@ func (t *Tracer) SLOEngine() *SLO {
 		return nil
 	}
 	return t.slo
+}
+
+// EnableDecisions turns on scheduler decision tracing: Decision() calls are
+// recorded (and mirrored into the event sink, when it understands them)
+// from now on. Off by default so event logs only carry decision lines when
+// explicitly asked for (-explain / -serve).
+func (t *Tracer) EnableDecisions() {
+	if t == nil {
+		return
+	}
+	t.decOn = true
+}
+
+// DecisionsEnabled reports whether decision tracing is on (false on nil).
+func (t *Tracer) DecisionsEnabled() bool { return t != nil && t.decOn }
+
+// Decision records one scheduler decision: appended to the in-memory stream
+// (Decisions) and mirrored into the event sink when the sink implements
+// decision.Sink (the JSONL sink does). A no-op unless EnableDecisions was
+// called.
+func (t *Tracer) Decision(rec decision.Record) {
+	if t == nil || !t.decOn {
+		return
+	}
+	t.decisions = append(t.decisions, rec)
+	if ds, ok := t.sink.(decision.Sink); ok {
+		ds.EmitDecision(rec)
+	}
+}
+
+// Decisions returns the recorded decision stream in emission order. The
+// slice is owned by the tracer; copy before mutating.
+func (t *Tracer) Decisions() []decision.Record {
+	if t == nil {
+		return nil
+	}
+	return t.decisions
+}
+
+// DecisionsSnapshot returns a copy of the decision stream, safe to hand to
+// concurrent readers (live telemetry frames).
+func (t *Tracer) DecisionsSnapshot() []decision.Record {
+	if t == nil || len(t.decisions) == 0 {
+		return nil
+	}
+	return append([]decision.Record(nil), t.decisions...)
 }
 
 // Metrics returns the tracer's registry (nil on a nil tracer; the registry's

@@ -1,9 +1,10 @@
 // Package obscli wires the telemetry plane (internal/obs) into a CLI: it
-// registers the shared flag set (-events, -serve, -dash, -slo, -slo-strict),
-// attaches the requested sinks to a tracer before the run, and tears them
-// down — flushing the event log, rendering the final dashboard frame,
-// reporting SLO violations — after it. Both ccexp and ccrun use it, so the
-// two commands expose identical telemetry surfaces.
+// registers the shared flag set (-events, -serve, -dash, -slo, -slo-strict,
+// -explain), attaches the requested sinks to a tracer before the run, and
+// tears them down — flushing the event log, rendering the final dashboard
+// frame, reporting SLO violations, printing the per-job wait attribution —
+// after it. Both ccexp and ccrun use it, so the two commands expose
+// identical telemetry surfaces.
 package obscli
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/decision"
 )
 
 // RuleList collects repeated -slo flags.
@@ -32,11 +34,12 @@ func (l *RuleList) Set(v string) error {
 
 // Flags is the telemetry flag set shared by the CLIs.
 type Flags struct {
-	Events string
-	Serve  string
-	Dash   bool
-	Rules  RuleList
-	Strict bool
+	Events  string
+	Serve   string
+	Dash    bool
+	Rules   RuleList
+	Strict  bool
+	Explain bool
 }
 
 // Register installs the telemetry flags on fl.
@@ -51,12 +54,15 @@ func (f *Flags) Register(fl *flag.FlagSet) {
 		"SLO rule \"[name=]expr OP bound\" (repeatable; see internal/obs — with -slo-strict alone, the default rule set applies)")
 	fl.BoolVar(&f.Strict, "slo-strict", false,
 		"evaluate SLO rules during the run and exit nonzero if any fired")
+	fl.BoolVar(&f.Explain, "explain", false,
+		"record scheduler decision traces (repro.decisions.v1; written into -events and served at /decisions) and print the per-job wait attribution after the run")
 }
 
 // Any reports whether any telemetry flag was set — the signal to install an
 // obs.Tracer even when -trace/-metrics did not ask for one.
 func (f *Flags) Any() bool {
-	return f.Events != "" || f.Serve != "" || f.Dash || len(f.Rules) > 0 || f.Strict
+	return f.Events != "" || f.Serve != "" || f.Dash || len(f.Rules) > 0 ||
+		f.Strict || f.Explain
 }
 
 // dashInterval is the wall-clock dashboard refresh period. Refreshes are
@@ -75,13 +81,19 @@ type Plane struct {
 	dashStop   chan struct{}
 	dashDone   chan struct{}
 	stderr     io.Writer
+	ot         *obs.Tracer
+	explain    bool
 }
 
 // Attach installs the requested telemetry components on ot and starts the
 // background consumers (HTTP server, dashboard ticker). On error everything
 // already opened is torn down.
 func (f *Flags) Attach(ot *obs.Tracer, stderr io.Writer) (*Plane, error) {
-	p := &Plane{stderr: stderr}
+	p := &Plane{stderr: stderr, ot: ot, explain: f.Explain}
+	if f.Explain || f.Serve != "" {
+		// -serve exposes /decisions, so the live endpoint implies recording.
+		ot.EnableDecisions()
+	}
 	fail := func(err error) (*Plane, error) {
 		if p.eventsFile != nil {
 			p.eventsFile.Close()
@@ -173,6 +185,11 @@ func (p *Plane) Finish() ([]obs.SLOViolation, error) {
 	viol := p.slo.Violations()
 	for _, v := range viol {
 		fmt.Fprintf(p.stderr, "(%s)\n", v)
+	}
+	if p.explain {
+		for _, a := range decision.Attribute(p.ot.Decisions()) {
+			fmt.Fprintf(p.stderr, "(explain: %s)\n", a)
+		}
 	}
 	return viol, err
 }
