@@ -30,6 +30,20 @@
 //
 //	ccexp -experiment jobs -events events.jsonl -serve :9090 -slo-strict
 //
+// -stream turns the -events log into a pass-through: events are written to
+// disk as they happen and never retained in memory, so very large runs (the
+// workload experiment at scale) log in bounded memory with unchanged bytes.
+// It conflicts with -trace and -explain, which need retained state.
+//
+// The workload experiment generates a multi-tenant job stream
+// (internal/workload) and sweeps its arrival rate; -workload overrides the
+// generation ("jobs=50000,rate=2,seed=7,..."), -trace-out records the
+// generated stream as a versioned repro.workload.v1 file, and -trace-in
+// replays such a file byte-identically instead of generating:
+//
+//	ccexp workload -workload jobs=50000 -trace-out stream.wl.jsonl
+//	ccexp workload -trace-in stream.wl.jsonl
+//
 // -explain records a per-round scheduler decision trace (repro.decisions.v1
 // lines interleaved into -events, served live at /decisions with -serve) and
 // prints the per-job wait attribution after the run. The explain experiment
@@ -83,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	explainK := fl.String("k", "", "explain experiment: comma-separated policy set to replay under; first entry is the factual policy (\"\" = fifo,easy-backfill)")
 	traceOut := fl.String("trace", "", "write Chrome trace-event JSON (Perfetto) here; needs exactly one experiment")
 	metricsOut := fl.String("metrics", "", "write the metrics-registry dump here; needs exactly one experiment")
+	wlSpec := fl.String("workload", "", "workload experiment: generation overrides as \"jobs=50000,rate=2,rates=0.5;1;2,horizon=600,seed=7,policy=priority\"")
+	wlOut := fl.String("trace-out", "", "workload experiment: record the generated stream as a repro.workload.v1 trace here (single base-rate run)")
+	wlIn := fl.String("trace-in", "", "workload experiment: replay this repro.workload.v1 trace instead of generating (single run)")
 	var tele obscli.Flags
 	tele.Register(fl)
 	var pf prof.Flags
@@ -126,7 +143,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg := experiments.Config{Scale: *scale, Quick: *quick, Memo: *memo, Policy: *policy,
-		ExplainJob: *explainJob, ExplainPolicies: *explainK}
+		ExplainJob: *explainJob, ExplainPolicies: *explainK,
+		WorkloadSpec: *wlSpec, WorkloadTraceOut: *wlOut, WorkloadTraceIn: *wlIn}
 
 	var runners []experiments.Runner
 	for _, a := range rest {
@@ -143,6 +161,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if (*traceOut != "" || *metricsOut != "" || tele.Any()) && len(runners) != 1 {
 		fmt.Fprintf(stderr, "ccexp: -trace/-metrics/-events/-serve/-dash/-slo need exactly one experiment (got %d)\n", len(runners))
+		return 2
+	}
+	if tele.Stream && *traceOut != "" {
+		fmt.Fprintf(stderr, "ccexp: -stream and -trace conflict (the Perfetto export needs retained spans)\n")
 		return 2
 	}
 	if *traceOut != "" || *metricsOut != "" || tele.Any() {
@@ -179,6 +201,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stderr, "(%s regenerated in %.1fs wall)\n", r.ID, time.Since(start).Seconds())
+	}
+	if *wlOut != "" {
+		fmt.Fprintf(stderr, "(workload trace recorded to %s)\n", *wlOut)
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, cfg.Obs); err != nil {

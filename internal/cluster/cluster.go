@@ -63,6 +63,11 @@ type Spec struct {
 	// share one physical pass. All shared results are bit-identical to cold
 	// runs; invalidation is by dataset generation (ReplaceDataset).
 	Memo bool
+	// MemoCap bounds the result cache's entry count when Memo is set: the
+	// oldest-inserted entries are evicted first once the cache exceeds it.
+	// 0 applies the default cap (65536 entries); negative means unlimited.
+	// Eviction only costs recomputation — capped runs stay bit-identical.
+	MemoCap int
 	// Obs, when non-nil, installs a structured span tracer + metrics registry
 	// across every layer of the machine (scheduler, cc, adio, pfs, mpi); see
 	// internal/obs. Nil disables span tracing at zero cost on hot paths.
@@ -98,7 +103,7 @@ type Cluster struct {
 	decAdmit decAdmitTag      // admission reason in flight (AdmitBackfilled)
 	schedQ   *Queue           // the scheduler's queue view, for snapshots
 
-	pending    []*JobResult // FIFO admission queue
+	pending    pendQueue    // FIFO admission queue (tombstoned; see pendqueue.go)
 	futureSubs int          // SubmitAt callbacks not yet fired
 	results    []*JobResult // every submission, in submission order
 	assign     []*sim.Mailbox[*JobContext]
@@ -125,7 +130,14 @@ func New(spec Spec) *Cluster {
 	}
 	c.policy = newPolicy(spec.Policy, c)
 	if spec.Memo {
-		c.memo = newMemoTable()
+		memoCap := spec.MemoCap
+		switch {
+		case memoCap == 0:
+			memoCap = defaultMemoCap
+		case memoCap < 0:
+			memoCap = 0 // unlimited
+		}
+		c.memo = newMemoTable(memoCap)
 	}
 	if spec.TimelineBucket > 0 {
 		c.tl = metrics.NewTimeline(spec.Ranks, spec.TimelineBucket)
@@ -344,6 +356,7 @@ func (c *Cluster) mirrorTotals() {
 		m.Gauge("memo_misses").Set(float64(s.Misses))
 		m.Gauge("memo_bytes_saved").Set(float64(s.BytesSaved))
 		m.Gauge("memo_invalidations").Set(float64(s.Invalidations))
+		m.Gauge("memo_evictions").Set(float64(s.Evictions))
 	}
 }
 

@@ -83,7 +83,7 @@ func (q *Queue) Blame(i int, reason decision.Reason, blockedSeq int, shadow floa
 	if blockedSeq >= 0 && blockedSeq < len(c.results) {
 		by = c.results[blockedSeq]
 	}
-	c.decBlame[c.pending[i].pid-1] = decBlame{reason: reason, blocked: by, shadow: shadow}
+	c.decBlame[c.pending.at(i).pid-1] = decBlame{reason: reason, blocked: by, shadow: shadow}
 }
 
 // blameHeadOfLine tags every pending job that would fit right now as
@@ -95,7 +95,7 @@ func blameHeadOfLine(q *Queue, best int) {
 	if !q.c.decisionsOn() {
 		return
 	}
-	bseq := q.c.pending[best].pid - 1
+	bseq := q.c.pending.at(best).pid - 1
 	for i := 0; i < q.Len(); i++ {
 		if i != best && q.Fits(i) {
 			q.Blame(i, decision.HeadOfLine, bseq, 0)
@@ -155,16 +155,22 @@ func rankBlocker(q *Queue, width int) *JobResult {
 // policies: the first earlier pending job that does not itself fit, falling
 // back to the queue head.
 func headBlocker(c *Cluster, q *Queue, jr *JobResult) *JobResult {
-	for _, p := range c.pending {
+	var blocker *JobResult
+	c.pending.each(func(p *JobResult) bool {
 		if p == jr {
-			break
+			return false
 		}
 		if p.Job.Ranks > q.pool.free {
-			return p
+			blocker = p
+			return false
 		}
+		return true
+	})
+	if blocker != nil {
+		return blocker
 	}
-	if len(c.pending) > 0 && c.pending[0] != jr {
-		return c.pending[0]
+	if first := c.pending.first(); first != nil && first != jr {
+		return first
 	}
 	return nil
 }
@@ -180,7 +186,7 @@ func (c *Cluster) emitSkipDecisions(q *Queue) {
 		clear(c.decBlame)
 		return
 	}
-	for _, jr := range c.pending {
+	c.pending.each(func(jr *JobResult) bool {
 		rec := c.newDecision(jr, decision.Skip)
 		if bl, ok := c.decBlame[jr.pid-1]; ok {
 			rec.Reason = bl.reason
@@ -197,6 +203,7 @@ func (c *Cluster) emitSkipDecisions(q *Queue) {
 			blameRecord(&rec, headBlocker(c, q, jr))
 		}
 		c.obs.Decision(rec)
-	}
+		return true
+	})
 	clear(c.decBlame)
 }

@@ -42,7 +42,13 @@ type MemoStats struct {
 	Misses        int   // CC jobs that ran their own physical pass
 	BytesSaved    int64 // logical bytes not re-read thanks to sharing
 	Invalidations int   // cached results dropped by ReplaceDataset
+	Evictions     int   // cached results dropped by the count cap (Spec.MemoCap)
 }
+
+// defaultMemoCap bounds the result cache when Spec.MemoCap is 0: large
+// enough that no existing experiment ever evicts, small enough that a
+// million-job stream cannot grow the cache without bound.
+const defaultMemoCap = 1 << 16
 
 type memoEntry struct {
 	res cc.Result
@@ -50,16 +56,58 @@ type memoEntry struct {
 }
 
 // memoTable is the cluster-level result cache plus the in-flight donor index.
+// The cache is count-bounded (cap; 0 = unlimited): when an insertion pushes
+// it past the cap, the oldest-inserted entries are evicted first. Eviction is
+// purely an occupancy guard — an evicted shape simply recomputes and
+// re-caches, so capped runs stay bit-identical to unbounded ones — and FIFO
+// order keeps it deterministic. Cost/size-aware eviction stays a ROADMAP
+// memo-v2 item.
 type memoTable struct {
 	entries map[string]memoEntry  // generation-prefixed memoKey -> result
+	order   []string              // insertion order of entry keys (may hold stale keys)
+	cap     int                   // max live entries; 0 = unlimited
 	running map[string]*JobResult // memoKey -> admitted donor
 	stats   MemoStats
 }
 
-func newMemoTable() *memoTable {
+func newMemoTable(cap int) *memoTable {
 	return &memoTable{
 		entries: make(map[string]memoEntry),
+		cap:     cap,
 		running: make(map[string]*JobResult),
+	}
+}
+
+// insert caches res under key and enforces the count cap. Keys removed by
+// invalidation linger in the order list and are skipped lazily here; a
+// re-inserted live key keeps its original position (it can only re-enter
+// after eviction or invalidation removed it, so no duplicate order entries).
+func (t *memoTable) insert(key string, e memoEntry) {
+	if _, live := t.entries[key]; !live {
+		t.order = append(t.order, key)
+	}
+	t.entries[key] = e
+	if t.cap <= 0 {
+		return
+	}
+	for len(t.entries) > t.cap && len(t.order) > 0 {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		if _, live := t.entries[victim]; live {
+			delete(t.entries, victim)
+			t.stats.Evictions++
+		}
+	}
+	// Invalidation leaves stale keys in the order list; compact once they
+	// dominate so the list stays proportional to the live cache.
+	if len(t.order) > 2*len(t.entries)+16 {
+		live := t.order[:0]
+		for _, k := range t.order {
+			if _, ok := t.entries[k]; ok {
+				live = append(live, k)
+			}
+		}
+		t.order = live
 	}
 }
 
@@ -150,17 +198,9 @@ func (c *Cluster) memoAdmit(jr *JobResult, now float64) {
 	c.memo.running[meta.memoKey] = jr
 	c.memo.stats.Misses++
 
-	keep := c.pending[:0]
-	for _, p := range c.pending {
-		if !c.memoAttach(jr, p, now) {
-			keep = append(keep, p)
-		}
-	}
-	// Zero the tail so dropped entries don't linger in the backing array.
-	for i := len(keep); i < len(c.pending); i++ {
-		c.pending[i] = nil
-	}
-	c.pending = keep
+	c.pending.removeWhere(func(p *JobResult) bool {
+		return c.memoAttach(jr, p, now)
+	})
 }
 
 // memoAttach tries to attach pending job p to admitted donor jr, returning
@@ -254,8 +294,8 @@ func (c *Cluster) memoComplete(jr *JobResult, now float64) {
 		delete(c.memo.running, meta.memoKey)
 	}
 	if jr.Err == nil {
-		c.memo.entries[entryKey(meta.gen, meta.memoKey)] =
-			memoEntry{res: meta.out.Res, ds: meta.job.Dataset}
+		c.memo.insert(entryKey(meta.gen, meta.memoKey),
+			memoEntry{res: meta.out.Res, ds: meta.job.Dataset})
 	}
 	for _, w := range meta.waiters {
 		w.cc.out.Res = meta.out.Res
@@ -267,8 +307,8 @@ func (c *Cluster) memoComplete(jr *JobResult, now float64) {
 		c.memo.stats.Coalesced++
 		c.memo.stats.BytesSaved += f.cc.bytes
 		if jr.Err == nil {
-			c.memo.entries[entryKey(f.cc.gen, f.cc.memoKey)] =
-				memoEntry{res: f.cc.out.Res, ds: f.cc.job.Dataset}
+			c.memo.insert(entryKey(f.cc.gen, f.cc.memoKey),
+				memoEntry{res: f.cc.out.Res, ds: f.cc.job.Dataset})
 		}
 		c.finishShared(jr, f, "coalesced", now)
 	}

@@ -214,3 +214,71 @@ func TestCCResultValid(t *testing.T) {
 		t.Fatalf("dropped job has a result: %+v", dropped.Res)
 	}
 }
+
+// TestMemoCapEviction: with Spec.MemoCap = 1, caching a second shape evicts
+// the first, so a repeat of the first shape re-runs its physical pass instead
+// of hitting — and still produces exactly the bits of an unbounded-cache run.
+// Eviction is an occupancy guard, never a correctness event.
+func TestMemoCapEviction(t *testing.T) {
+	slabA := layout.Slab{Start: []int64{0, 0, 0}, Count: []int64{8, 16, 16}}
+	slabB := layout.Slab{Start: []int64{8, 0, 0}, Count: []int64{8, 16, 16}}
+	run := func(memoCap int) ([]*CCResult, MemoStats) {
+		c := New(Spec{Ranks: 4, RanksPerNode: 2, Memo: true, MemoCap: memoCap})
+		ds, _, err := climate.NewDataset3D(c.FS(), []int64{16, 32, 32}, 8, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RegisterDataset("climate", ds)
+		// Serial arrivals far apart: each job completes (and is cached)
+		// before the next one is considered.
+		crs := []*CCResult{
+			c.SubmitCC(ccOpJob("a1", cc.Sum{}, cc.AllToOne, slabA)),
+			c.SubmitCCAt(1000, ccOpJob("b1", cc.Sum{}, cc.AllToOne, slabB)),
+			c.SubmitCCAt(2000, ccOpJob("a2", cc.Sum{}, cc.AllToOne, slabA)),
+			c.SubmitCCAt(3000, ccOpJob("a3", cc.Sum{}, cc.AllToOne, slabA)),
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return crs, c.MemoStats()
+	}
+
+	unbounded, uStats := run(-1)
+	capped, cStats := run(1)
+
+	if uStats.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted: %+v", uStats)
+	}
+	// Unbounded: a2 and a3 both hit a1's entry.
+	if uStats.Hits != 2 || uStats.Misses != 2 {
+		t.Fatalf("unbounded stats %+v, want 2 hits / 2 misses", uStats)
+	}
+	// Cap 1: caching b1 evicts a1, so a2 re-runs (re-inserting the shape and
+	// evicting b1); a3 then hits a2's entry.
+	if cStats.Evictions < 2 {
+		t.Fatalf("capped stats %+v, want >= 2 evictions", cStats)
+	}
+	if cStats.Hits != 1 || cStats.Misses != 3 {
+		t.Fatalf("capped stats %+v, want 1 hit / 3 misses", cStats)
+	}
+	if capped[2].MemoHit {
+		t.Fatal("a2 hit the cache despite cap-1 eviction")
+	}
+	if !capped[3].MemoHit {
+		t.Fatal("a3 missed: re-run a2 was not re-cached")
+	}
+	for i := range unbounded {
+		name := capped[i].Job.Name
+		if !unbounded[i].Valid() || !capped[i].Valid() {
+			t.Fatalf("%s: unbounded err %v, capped err %v",
+				name, unbounded[i].Err, capped[i].Err)
+		}
+		ub, cb := math.Float64bits(unbounded[i].Res.Value), math.Float64bits(capped[i].Res.Value)
+		if ub != cb {
+			t.Fatalf("%s: capped value %x != unbounded value %x", name, cb, ub)
+		}
+		if !reflect.DeepEqual(unbounded[i].Res.State, capped[i].Res.State) {
+			t.Fatalf("%s: capped state differs from unbounded", name)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package cluster
+
+// pendQueue is the scheduler's pending-job queue: arrival order, O(1) push,
+// and O(1) amortized removal at any logical position. The previous
+// representation was a plain slice with splice removal
+// (append(pending[:i], pending[i+1:]...)) — O(queue) per removal, O(queue²)
+// for a round that drains the queue, which made 50k-job arrival streams
+// infeasible (see BenchmarkPendingQueueDrain50k).
+//
+// Representation: removals tombstone the slot (nil) instead of shifting the
+// tail; a head index skips leading tombstones and a deferred compaction pass
+// reclaims the rest once more than half the slice is dead, so the cost of
+// every removal is O(1) amortized. Policies address jobs by *logical* index
+// (position among live entries, in arrival order) exactly as they addressed
+// the old slice, so admission order — and therefore every trace and event
+// log — is byte-identical. Logical→physical resolution uses a cursor
+// remembering the last resolved position: policies scan indices in
+// nondecreasing order, so resolution is O(1) amortized; arbitrary access
+// patterns stay correct and merely degrade to O(distance).
+type pendQueue struct {
+	items []*JobResult // arrival order; nil = removed (tombstone)
+	head  int          // first possibly-live slot; items[:head] are all dead
+	dead  int          // tombstone count at slots >= head
+	// Sequential-scan cursor: items[curPhys] is live and is logical index
+	// curLog. curPhys == -1 (or a stale slot) marks the cursor invalid.
+	curLog  int
+	curPhys int
+}
+
+// push appends an arrival to the tail.
+func (p *pendQueue) push(jr *JobResult) { p.items = append(p.items, jr) }
+
+// Len returns the number of live pending jobs.
+func (p *pendQueue) Len() int { return len(p.items) - p.head - p.dead }
+
+// norm advances head past tombstones so items[head] is live, and resets the
+// backing slice once the queue empties so slots are reused.
+func (p *pendQueue) norm() {
+	for p.head < len(p.items) && p.items[p.head] == nil {
+		p.head++
+		p.dead--
+	}
+	if p.head == len(p.items) {
+		p.items = p.items[:0]
+		p.head, p.dead, p.curPhys = 0, 0, -1
+	}
+}
+
+// cursorValid reports whether the cursor names a live slot.
+func (p *pendQueue) cursorValid() bool {
+	return p.curPhys >= p.head && p.curPhys < len(p.items) &&
+		p.items[p.curPhys] != nil
+}
+
+// phys resolves logical index i (0 <= i < Len()) to its physical slot.
+func (p *pendQueue) phys(i int) int {
+	if i < 0 || i >= p.Len() {
+		panic("cluster: pending-queue index out of range")
+	}
+	p.norm()
+	log, ph := 0, p.head
+	if p.cursorValid() && p.curLog <= i {
+		log, ph = p.curLog, p.curPhys
+	}
+	for {
+		if p.items[ph] != nil {
+			if log == i {
+				p.curLog, p.curPhys = i, ph
+				return ph
+			}
+			log++
+		}
+		ph++
+	}
+}
+
+// at returns the pending job at logical index i.
+func (p *pendQueue) at(i int) *JobResult { return p.items[p.phys(i)] }
+
+// first returns the head job, or nil when the queue is empty.
+func (p *pendQueue) first() *JobResult {
+	p.norm()
+	if p.head < len(p.items) {
+		return p.items[p.head]
+	}
+	return nil
+}
+
+// removeAt removes and returns the job at logical index i. The entries
+// behind it keep their arrival order; their logical indices shift down by
+// one, and the cursor is re-aimed at the new occupant of index i so a policy
+// continuing its scan at the same index stays O(1).
+func (p *pendQueue) removeAt(i int) *JobResult {
+	ph := p.phys(i)
+	jr := p.items[ph]
+	p.items[ph] = nil
+	p.dead++
+	np := ph + 1
+	for np < len(p.items) && p.items[np] == nil {
+		np++
+	}
+	if np < len(p.items) {
+		p.curLog, p.curPhys = i, np
+	} else {
+		p.curPhys = -1
+	}
+	p.norm()
+	p.maybeCompact()
+	return jr
+}
+
+// each visits the live jobs in arrival order; fn returning false stops the
+// walk early.
+func (p *pendQueue) each(fn func(*JobResult) bool) {
+	for _, jr := range p.items[p.head:] {
+		if jr != nil && !fn(jr) {
+			return
+		}
+	}
+}
+
+// removeWhere visits every live job in arrival order and removes those for
+// which drop returns true, compacting the queue in the same pass (the memo
+// layer's admission sweep).
+func (p *pendQueue) removeWhere(drop func(*JobResult) bool) {
+	live := p.items[:0]
+	for _, jr := range p.items[p.head:] {
+		if jr != nil && !drop(jr) {
+			live = append(live, jr)
+		}
+	}
+	for i := len(live); i < len(p.items); i++ {
+		p.items[i] = nil
+	}
+	p.items = live
+	p.head, p.dead, p.curPhys = 0, 0, -1
+}
+
+// maybeCompact reclaims tombstoned slots once they outnumber the live
+// entries (beyond a small floor, so tiny queues never bother). Each
+// compaction halves the slice, so its cost amortizes to O(1) per removal.
+func (p *pendQueue) maybeCompact() {
+	if w := p.head + p.dead; w > 32 && w > len(p.items)/2 {
+		p.removeWhere(func(*JobResult) bool { return false })
+	}
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pendModel is the reference implementation the tombstoned queue must match:
+// the pre-refactor plain slice with splice removal.
+type pendModel []*JobResult
+
+func (m *pendModel) push(jr *JobResult) { *m = append(*m, jr) }
+func (m pendModel) Len() int            { return len(m) }
+func (m pendModel) at(i int) *JobResult { return m[i] }
+func (m *pendModel) removeAt(i int) *JobResult {
+	jr := (*m)[i]
+	*m = append((*m)[:i], (*m)[i+1:]...)
+	return jr
+}
+
+func newPendJob(id int) *JobResult {
+	return &JobResult{Job: &Job{Name: "j"}, pid: id + 1}
+}
+
+// TestPendQueueDifferential drives pendQueue and the splice-slice model with
+// the same random operation stream and checks they agree on every
+// observation: Len, at(i) for every index, removal order, and the removeWhere
+// sweep. Policies only ever see the queue through these operations, so
+// agreement here is what "byte-identical traces" rests on.
+func TestPendQueueDifferential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q pendQueue
+		var m pendModel
+		next := 0
+		for op := 0; op < 2000; op++ {
+			switch k := rng.Intn(10); {
+			case k < 4: // push
+				q.push(newPendJob(next))
+				m.push(newPendJob(next))
+				next++
+			case k < 7: // removeAt
+				if m.Len() == 0 {
+					continue
+				}
+				i := rng.Intn(m.Len())
+				got, want := q.removeAt(i), m.removeAt(i)
+				if got.pid != want.pid {
+					t.Fatalf("seed %d op %d: removeAt(%d) = pid %d, want %d",
+						seed, op, i, got.pid, want.pid)
+				}
+			case k < 8: // random access
+				if m.Len() == 0 {
+					continue
+				}
+				i := rng.Intn(m.Len())
+				if got, want := q.at(i), m.at(i); got.pid != want.pid {
+					t.Fatalf("seed %d op %d: at(%d) = pid %d, want %d",
+						seed, op, i, got.pid, want.pid)
+				}
+			case k < 9: // removeWhere sweep (the memo-admission path)
+				mod := 2 + rng.Intn(3)
+				q.removeWhere(func(jr *JobResult) bool { return jr.pid%mod == 0 })
+				keep := m[:0]
+				for _, jr := range m {
+					if jr.pid%mod != 0 {
+						keep = append(keep, jr)
+					}
+				}
+				m = keep
+			default: // full scan, in order (each + at must agree)
+				i := 0
+				q.each(func(jr *JobResult) bool {
+					if jr.pid != m[i].pid {
+						t.Fatalf("seed %d op %d: each index %d = pid %d, want %d",
+							seed, op, i, jr.pid, m[i].pid)
+					}
+					i++
+					return true
+				})
+				if i != m.Len() {
+					t.Fatalf("seed %d op %d: each visited %d jobs, want %d", seed, op, i, m.Len())
+				}
+			}
+			if q.Len() != m.Len() {
+				t.Fatalf("seed %d op %d: Len %d, want %d", seed, op, q.Len(), m.Len())
+			}
+		}
+	}
+}
+
+func TestPendQueueScanOrderAfterRemovals(t *testing.T) {
+	var q pendQueue
+	for i := 0; i < 100; i++ {
+		q.push(newPendJob(i))
+	}
+	// Remove every other job during an ascending scan — the easy-backfill
+	// access pattern ("continue at the same index after a removal").
+	for i := 0; i < q.Len(); {
+		if q.at(i).pid%2 == 0 {
+			q.removeAt(i)
+			continue
+		}
+		i++
+	}
+	if q.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", q.Len())
+	}
+	for i := 0; i < q.Len(); i++ {
+		if want := 2*i + 1; q.at(i).pid != want {
+			t.Fatalf("at(%d) = pid %d, want %d", i, q.at(i).pid, want)
+		}
+	}
+	// Drain from the head; arrival order must hold.
+	prev := 0
+	for q.Len() > 0 {
+		jr := q.removeAt(0)
+		if jr.pid <= prev {
+			t.Fatalf("drain out of order: pid %d after %d", jr.pid, prev)
+		}
+		prev = jr.pid
+	}
+	if q.first() != nil {
+		t.Fatal("first() on empty queue != nil")
+	}
+}
+
+// The committed evidence for the pending-queue fix: draining a 50k-job queue
+// through the scheduler's removal verb. The old splice representation
+// (BenchmarkPendingSpliceDrain50k) moves O(queue) pointers per removal —
+// O(queue²) per drained round — while the tombstoned queue is O(1) amortized.
+// At 50k jobs the gap is far beyond the required 10x.
+
+const benchQueueLen = 50_000
+
+func BenchmarkPendingQueueDrain50k(b *testing.B) {
+	jobs := make([]*JobResult, benchQueueLen)
+	for i := range jobs {
+		jobs[i] = newPendJob(i)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var q pendQueue
+		for _, jr := range jobs {
+			q.push(jr)
+		}
+		for q.Len() > 0 {
+			q.removeAt(0)
+		}
+	}
+}
+
+func BenchmarkPendingSpliceDrain50k(b *testing.B) {
+	jobs := make([]*JobResult, benchQueueLen)
+	for i := range jobs {
+		jobs[i] = newPendJob(i)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var m pendModel
+		for _, jr := range jobs {
+			m.push(jr)
+		}
+		for m.Len() > 0 {
+			m.removeAt(0)
+		}
+	}
+}
+
+// Mid-queue removals in ascending scan order — the memo/backfill round shape
+// (consider each job, pluck some out of the middle).
+func BenchmarkPendingQueueSweep50k(b *testing.B) {
+	jobs := make([]*JobResult, benchQueueLen)
+	for i := range jobs {
+		jobs[i] = newPendJob(i)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var q pendQueue
+		for _, jr := range jobs {
+			q.push(jr)
+		}
+		for i := 0; i < q.Len(); {
+			if q.at(i).pid%2 == 0 {
+				q.removeAt(i)
+				continue
+			}
+			i++
+		}
+	}
+}
+
+func BenchmarkPendingSpliceSweep50k(b *testing.B) {
+	jobs := make([]*JobResult, benchQueueLen)
+	for i := range jobs {
+		jobs[i] = newPendJob(i)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var m pendModel
+		for _, jr := range jobs {
+			m.push(jr)
+		}
+		for i := 0; i < m.Len(); {
+			if m.at(i).pid%2 == 0 {
+				m.removeAt(i)
+				continue
+			}
+			i++
+		}
+	}
+}

@@ -172,11 +172,11 @@ func (p *rankPool) ranks(out []int) []int {
 func (q *Queue) Now() float64 { return q.c.env.Now() }
 
 // Len returns the number of pending jobs.
-func (q *Queue) Len() int { return len(q.c.pending) }
+func (q *Queue) Len() int { return q.c.pending.Len() }
 
 // Job returns the policy view of pending job i.
 func (q *Queue) Job(i int) QueuedJob {
-	jr := q.c.pending[i]
+	jr := q.c.pending.at(i)
 	return QueuedJob{
 		Name:     jr.Job.Name,
 		Width:    jr.Job.Ranks,
@@ -200,7 +200,7 @@ func (q *Queue) QueuedJobs() []QueuedJob {
 
 // Expired reports whether pending job i's deadline has passed.
 func (q *Queue) Expired(i int) bool {
-	jr := q.c.pending[i]
+	jr := q.c.pending.at(i)
 	return jr.Job.Deadline > 0 && q.Now() > jr.Submit+jr.Job.Deadline
 }
 
@@ -224,7 +224,7 @@ func (q *Queue) CapFree() bool {
 // Fits reports whether pending job i can be admitted right now: enough free
 // ranks and concurrency-cap headroom.
 func (q *Queue) Fits(i int) bool {
-	return q.c.pending[i].Job.Ranks <= q.pool.free && q.CapFree()
+	return q.c.pending.at(i).Job.Ranks <= q.pool.free && q.CapFree()
 }
 
 // Running returns the admitted-and-running set in admission order.
@@ -262,12 +262,11 @@ func (q *Queue) Weight(tenant string) float64 {
 // policy may never drop a live job.
 func (q *Queue) Drop(i int) {
 	if !q.Expired(i) {
-		panic(fmt.Sprintf("cluster: policy dropped unexpired job %q", q.c.pending[i].Job.Name))
+		panic(fmt.Sprintf("cluster: policy dropped unexpired job %q", q.c.pending.at(i).Job.Name))
 	}
 	c := q.c
-	jr := c.pending[i]
+	jr := c.pending.removeAt(i)
 	j := jr.Job
-	c.pending = append(c.pending[:i], c.pending[i+1:]...)
 	now := c.env.Now()
 	jr.Start, jr.End = now, now
 	jr.Err = ErrDeadlineExpired
@@ -298,10 +297,10 @@ func (q *Queue) Drop(i int) {
 // job was consumed and removed from the queue.
 func (q *Queue) TryMemo(i int) bool {
 	c := q.c
-	if !c.memoTryComplete(c.pending[i], c.env.Now()) {
+	if !c.memoTryComplete(c.pending.at(i), c.env.Now()) {
 		return false
 	}
-	c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	c.pending.removeAt(i)
 	return true
 }
 
@@ -314,7 +313,7 @@ func (q *Queue) TryMemo(i int) bool {
 // donor.
 func (q *Queue) Admit(i int, ranks []int) *JobResult {
 	c := q.c
-	jr := c.pending[i]
+	jr := c.pending.at(i)
 	j := jr.Job
 	if j.Ranks > q.pool.free || !q.CapFree() {
 		panic(fmt.Sprintf("cluster: policy admitted job %q (width %d) with %d free ranks",
@@ -329,7 +328,7 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 		preFree = q.pool.free
 		preFreeStr = decision.FormatRanks(q.pool.ranks(nil))
 	}
-	c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	c.pending.removeAt(i)
 	var members []int
 	if ranks == nil {
 		members = q.pool.takeLowest(j.Ranks, make([]int, 0, j.Ranks))
@@ -395,7 +394,7 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 			ot.BindRank(wr, jr.pid)
 			ot.SetThreadName(jr.pid, wr, fmt.Sprintf("rank %d", wr))
 		}
-		ot.Counter("cluster_queue_depth", now, float64(len(c.pending)))
+		ot.Counter("cluster_queue_depth", now, float64(c.pending.Len()))
 		ot.Counter("cluster_ranks_busy", now, float64(c.spec.Ranks-q.pool.free))
 		m := ot.Metrics()
 		m.Counter("cluster_jobs_admitted").Inc()

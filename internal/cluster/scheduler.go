@@ -173,7 +173,7 @@ func (ctx *JobContext) Dataset(name string) *ncfile.Dataset {
 // copied; the returned result is filled in during Run.
 func (c *Cluster) Submit(j *Job) *JobResult {
 	jr := c.prepare(j, 0)
-	c.pending = append(c.pending, jr)
+	c.pending.push(jr)
 	return jr
 }
 
@@ -184,7 +184,7 @@ func (c *Cluster) SubmitAt(t float64, j *Job) *JobResult {
 	c.futureSubs++
 	c.env.At(t, func() {
 		c.futureSubs--
-		c.pending = append(c.pending, jr)
+		c.pending.push(jr)
 		c.done.Send(doneMsg{}, 0, t) // wake: zero ctx
 	})
 	return jr
@@ -256,13 +256,13 @@ func (c *Cluster) scheduler(p *sim.Proc) {
 		c.policy.Admit(q)
 		c.emitSkipDecisions(q)
 
-		if len(q.running) == 0 && len(c.pending) == 0 && c.futureSubs == 0 {
+		if len(q.running) == 0 && c.pending.Len() == 0 && c.futureSubs == 0 {
 			break
 		}
 
 		// Round boundary: the admission round is over and the scheduler is
 		// about to block — a consistent instant to publish telemetry from.
-		c.publishTelemetry(c.env.Now(), len(c.pending), c.spec.Ranks-q.pool.free)
+		c.publishTelemetry(c.env.Now(), c.pending.Len(), c.spec.Ranks-q.pool.free)
 
 		m := c.done.Recv(p)
 		d := m.Payload

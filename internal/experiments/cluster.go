@@ -43,6 +43,17 @@ type Config struct {
 	// byte-identically); the rest are counterfactuals. "" means
 	// "fifo,easy-backfill".
 	ExplainPolicies string
+	// WorkloadSpec tweaks the workload experiment's generated stream, as a
+	// comma-separated "key=value" list: jobs=<n> (cap the stream and widen
+	// the horizon to fit), rate=<mul> (arrival-rate multiplier), rates=<m1;
+	// m2;...> (sweep multipliers), horizon=<s>, seed=<n>, policy=<name>.
+	// "" keeps the defaults.
+	WorkloadSpec string
+	// WorkloadTraceOut, when set, makes the workload experiment record its
+	// generated stream to this repro.workload.v1 file and run only the base
+	// rate. WorkloadTraceIn replays a recorded stream instead of
+	// generating; the two are mutually exclusive.
+	WorkloadTraceOut, WorkloadTraceIn string
 }
 
 // Defaults fills unset fields.

@@ -273,7 +273,7 @@ func TestAllRegistry(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs", "sched-policies", "multiuser", "profile-jobs"} {
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "faults", "jobs", "sched-policies", "multiuser", "profile-jobs", "explain", "workload"} {
 		if !ids[want] {
 			t.Fatalf("missing %s", want)
 		}

@@ -136,6 +136,7 @@ func All() []Runner {
 		{"multiuser", "Multi-user serving with result memoization + read coalescing", Multiuser},
 		{"profile-jobs", "Per-job phase breakdown + critical path (observability)", ProfileJobs},
 		{"explain", "Decision-trace counterfactual what-if replay + wait attribution", Explain},
+		{"workload", "Generative multi-tenant workload plane + versioned trace replay", Workload},
 	}
 }
 

@@ -72,6 +72,8 @@ type threadKey struct{ pid, tid int }
 type Tracer struct {
 	reg     *Registry
 	spans   []span
+	nSpans  int // spans recorded (logical; == len(spans) unless streaming)
+	stream  bool
 	procs   map[int]string
 	threads map[threadKey]string
 	samples []counterSample
@@ -132,6 +134,28 @@ func (t *Tracer) SetSink(sink EventSink) {
 	t.sink = sink
 }
 
+// SetStreaming switches the tracer to stream-through mode: spans, counter
+// samples, and decision records are mirrored into the event sink as usual
+// but are NOT retained in memory, so a million-job run with a JSONLSink
+// holds O(1) trace state instead of growing without bound. Span IDs come
+// from a logical counter that matches retained-mode numbering exactly, so
+// the emitted event log is byte-identical either way.
+//
+// Enable it before recording (the CLIs do, right after installing the
+// sink). In-memory consumers see an empty store: EachSpan visits nothing,
+// Decisions/DecisionsSnapshot are empty, and the Chrome trace export is
+// empty — so streaming is incompatible with -trace and -explain, which the
+// CLIs reject. The metrics registry aggregates in place and stays available.
+func (t *Tracer) SetStreaming(on bool) {
+	if t == nil {
+		return
+	}
+	t.stream = on
+}
+
+// Streaming reports whether stream-through mode is on (false on nil).
+func (t *Tracer) Streaming() bool { return t != nil && t.stream }
+
 // SetLive installs the live frame cell the owning runtime publishes
 // telemetry snapshots into (see live.go).
 func (t *Tracer) SetLive(l *Live) {
@@ -189,7 +213,9 @@ func (t *Tracer) Decision(rec decision.Record) {
 	if t == nil || !t.decOn {
 		return
 	}
-	t.decisions = append(t.decisions, rec)
+	if !t.stream {
+		t.decisions = append(t.decisions, rec)
+	}
 	if ds, ok := t.sink.(decision.Sink); ok {
 		ds.EmitDecision(rec)
 	}
@@ -274,9 +300,12 @@ func (t *Tracer) Begin(pid, tid int, name, cat string, start float64, attrs ...A
 	if t == nil {
 		return 0
 	}
-	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
-		start: start, end: start - 1, attrs: attrs})
-	id := SpanID(len(t.spans))
+	t.nSpans++
+	id := SpanID(t.nSpans)
+	if !t.stream {
+		t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
+			start: start, end: start - 1, attrs: attrs})
+	}
 	if t.sink != nil {
 		t.sink.Emit(Event{E: "begin", ID: int(id), T: start, PID: pid, TID: tid,
 			Name: name, Cat: cat, Attrs: attrs})
@@ -289,7 +318,9 @@ func (t *Tracer) End(id SpanID, end float64) {
 	if t == nil || id <= 0 {
 		return
 	}
-	t.spans[id-1].end = end
+	if int(id) <= len(t.spans) {
+		t.spans[id-1].end = end
+	}
 	if t.sink != nil {
 		t.sink.Emit(Event{E: "end", ID: int(id), T: end})
 	}
@@ -300,8 +331,10 @@ func (t *Tracer) AddAttr(id SpanID, attrs ...Attr) {
 	if t == nil || id <= 0 {
 		return
 	}
-	sp := &t.spans[id-1]
-	sp.attrs = append(sp.attrs, attrs...)
+	if int(id) <= len(t.spans) {
+		sp := &t.spans[id-1]
+		sp.attrs = append(sp.attrs, attrs...)
+	}
 	if t.sink != nil {
 		t.sink.Emit(Event{E: "attr", ID: int(id), Attrs: attrs})
 	}
@@ -312,8 +345,11 @@ func (t *Tracer) Span(pid, tid int, name, cat string, start, end float64, attrs 
 	if t == nil {
 		return
 	}
-	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
-		start: start, end: end, attrs: attrs})
+	t.nSpans++
+	if !t.stream {
+		t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
+			start: start, end: end, attrs: attrs})
+	}
 	if t.sink != nil {
 		t.sink.Emit(Event{E: "span", T: start, Dur: end - start, PID: pid, TID: tid,
 			Name: name, Cat: cat, Attrs: attrs})
@@ -341,8 +377,11 @@ func (t *Tracer) Instant(pid, tid int, name, cat string, ts float64, attrs ...At
 	if t == nil {
 		return
 	}
-	t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
-		start: ts, end: ts, attrs: attrs})
+	t.nSpans++
+	if !t.stream {
+		t.spans = append(t.spans, span{name: name, cat: cat, pid: pid, tid: tid,
+			start: ts, end: ts, attrs: attrs})
+	}
 	if t.sink != nil {
 		t.sink.Emit(Event{E: "instant", T: ts, PID: pid, TID: tid,
 			Name: name, Cat: cat, Attrs: attrs})
@@ -355,7 +394,9 @@ func (t *Tracer) Counter(name string, ts, val float64) {
 	if t == nil {
 		return
 	}
-	t.samples = append(t.samples, counterSample{name: name, ts: ts, val: val})
+	if !t.stream {
+		t.samples = append(t.samples, counterSample{name: name, ts: ts, val: val})
+	}
 	if t.sink != nil {
 		t.sink.Emit(Event{E: "sample", T: ts, Name: name, Value: val})
 	}
@@ -369,8 +410,11 @@ func (t *Tracer) Alert(name string, ts float64, attrs ...Attr) {
 	if t == nil {
 		return
 	}
-	t.spans = append(t.spans, span{name: name, cat: "slo", pid: 0, tid: 0,
-		start: ts, end: ts, attrs: attrs})
+	t.nSpans++
+	if !t.stream {
+		t.spans = append(t.spans, span{name: name, cat: "slo", pid: 0, tid: 0,
+			start: ts, end: ts, attrs: attrs})
+	}
 	if t.sink != nil {
 		t.sink.Emit(Event{E: "alert", T: ts, Name: name, Attrs: attrs})
 	}
@@ -386,12 +430,13 @@ func (t *Tracer) Record(rank int, kind trace.Kind, t0, t1 float64) {
 	t.kindCtr[kind].Add(t1 - t0)
 }
 
-// NumSpans returns how many spans have been recorded.
+// NumSpans returns how many spans have been recorded (including spans not
+// retained in stream-through mode).
 func (t *Tracer) NumSpans() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.spans)
+	return t.nSpans
 }
 
 // EachSpan calls fn for every recorded span in creation order.

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs/decision"
+)
+
+// emitMix drives one tracer through every event-producing path: open/close
+// spans with late attributes, complete spans, instants, counter samples, SLO
+// alerts, and decision records.
+func emitMix(t *Tracer) {
+	t.EnableDecisions()
+	for i := 0; i < 50; i++ {
+		ts := float64(i)
+		id := t.Begin(0, i, "run", "sched", ts, S("job", "j"), I("i", int64(i)))
+		t.Span(1, i, "phase", "cc", ts, ts+0.5, F("dur", 0.5))
+		t.Instant(0, i, "memo-hit", "sched", ts+0.25)
+		t.Counter("cluster_queue_depth", ts, float64(50-i))
+		t.AddAttr(id, S("late", "attr"))
+		t.End(id, ts+1)
+		t.Alert("queue_deep", ts+0.75, F("depth", float64(i)))
+		t.Decision(decision.Record{Round: i + 1, T: ts, Policy: "fifo",
+			Job: "j", Seq: i, Outcome: decision.Admit, BlockedBySeq: -1})
+	}
+}
+
+// TestStreamingSinkBytesIdentical is the stream-through contract: with a
+// JSONLSink installed, a streaming tracer must emit exactly the bytes of a
+// retained tracer (span IDs included) while holding no spans, samples, or
+// decisions in memory.
+func TestStreamingSinkBytesIdentical(t *testing.T) {
+	var retained, streamed bytes.Buffer
+
+	tr := New()
+	tr.SetSink(NewJSONLSink(&retained))
+	emitMix(tr)
+
+	ts := New()
+	ts.SetSink(NewJSONLSink(&streamed))
+	ts.SetStreaming(true)
+	emitMix(ts)
+
+	if !bytes.Equal(retained.Bytes(), streamed.Bytes()) {
+		t.Fatalf("streaming event log differs from retained:\nretained %d bytes\nstreamed %d bytes",
+			retained.Len(), streamed.Len())
+	}
+	if retained.Len() == 0 {
+		t.Fatal("no events emitted")
+	}
+
+	if got, want := ts.NumSpans(), tr.NumSpans(); got != want {
+		t.Fatalf("streaming NumSpans = %d, want %d", got, want)
+	}
+	// Bounded memory: the streaming tracer retained nothing.
+	if n := len(ts.spans); n != 0 {
+		t.Fatalf("streaming tracer retained %d spans", n)
+	}
+	if n := len(ts.samples); n != 0 {
+		t.Fatalf("streaming tracer retained %d counter samples", n)
+	}
+	if n := len(ts.Decisions()); n != 0 {
+		t.Fatalf("streaming tracer retained %d decisions", n)
+	}
+	visited := 0
+	ts.EachSpan(func(SpanView) { visited++ })
+	if visited != 0 {
+		t.Fatalf("EachSpan visited %d spans in streaming mode", visited)
+	}
+	// The retained tracer kept everything, as before.
+	if n := len(tr.spans); n != tr.NumSpans() {
+		t.Fatalf("retained tracer holds %d spans, NumSpans %d", n, tr.NumSpans())
+	}
+}
+
+// TestStreamingWithoutSink: a streaming tracer with no sink simply drops
+// everything (metrics still aggregate); End/AddAttr on unretained IDs are
+// safe no-ops.
+func TestStreamingWithoutSink(t *testing.T) {
+	tr := New()
+	tr.SetStreaming(true)
+	if !tr.Streaming() {
+		t.Fatal("Streaming() = false after SetStreaming(true)")
+	}
+	id := tr.Begin(0, 0, "run", "sched", 0)
+	tr.AddAttr(id, S("k", "v"))
+	tr.End(id, 1)
+	tr.Counter("c", 0, 1)
+	if tr.NumSpans() != 1 || len(tr.spans) != 0 {
+		t.Fatalf("NumSpans %d, retained %d; want 1 / 0", tr.NumSpans(), len(tr.spans))
+	}
+	var nilTr *Tracer
+	nilTr.SetStreaming(true) // nil-safe
+	if nilTr.Streaming() {
+		t.Fatal("nil tracer reports streaming")
+	}
+}

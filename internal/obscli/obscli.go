@@ -35,6 +35,7 @@ func (l *RuleList) Set(v string) error {
 // Flags is the telemetry flag set shared by the CLIs.
 type Flags struct {
 	Events  string
+	Stream  bool
 	Serve   string
 	Dash    bool
 	Rules   RuleList
@@ -46,6 +47,8 @@ type Flags struct {
 func (f *Flags) Register(fl *flag.FlagSet) {
 	fl.StringVar(&f.Events, "events", "",
 		"write the structured JSONL event log here (byte-identical across identical runs)")
+	fl.BoolVar(&f.Stream, "stream", false,
+		"stream spans/samples/decisions through to -events without retaining them in memory (bounded-memory event logging for very large runs; the log bytes are unchanged, but -trace and -explain need retained state and conflict)")
 	fl.StringVar(&f.Serve, "serve", "",
 		"serve live telemetry (/metrics, /healthz, /jobs) on this address, e.g. :9090; keeps serving after the run until interrupted")
 	fl.BoolVar(&f.Dash, "dash", false,
@@ -63,6 +66,26 @@ func (f *Flags) Register(fl *flag.FlagSet) {
 func (f *Flags) Any() bool {
 	return f.Events != "" || f.Serve != "" || f.Dash || len(f.Rules) > 0 ||
 		f.Strict || f.Explain
+}
+
+// Validate rejects flag combinations that cannot work: -stream keeps no
+// in-memory state, so everything that reads the tracer's stores after the
+// run (-explain attribution, the /decisions snapshot via -serve) conflicts,
+// and without -events there would be nowhere to stream to.
+func (f *Flags) Validate() error {
+	if !f.Stream {
+		return nil
+	}
+	if f.Events == "" {
+		return fmt.Errorf("-stream needs -events (it streams the event log through to disk)")
+	}
+	if f.Explain {
+		return fmt.Errorf("-stream and -explain conflict: the wait attribution needs retained decision records")
+	}
+	if f.Serve != "" {
+		return fmt.Errorf("-stream and -serve conflict: /decisions and live frames need retained state")
+	}
+	return nil
 }
 
 // dashInterval is the wall-clock dashboard refresh period. Refreshes are
@@ -90,6 +113,9 @@ type Plane struct {
 // already opened is torn down.
 func (f *Flags) Attach(ot *obs.Tracer, stderr io.Writer) (*Plane, error) {
 	p := &Plane{stderr: stderr, ot: ot, explain: f.Explain}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
 	if f.Explain || f.Serve != "" {
 		// -serve exposes /decisions, so the live endpoint implies recording.
 		ot.EnableDecisions()
@@ -111,6 +137,9 @@ func (f *Flags) Attach(ot *obs.Tracer, stderr io.Writer) (*Plane, error) {
 		p.eventsFile = file
 		p.sink = obs.NewJSONLSink(file)
 		ot.SetSink(p.sink)
+	}
+	if f.Stream {
+		ot.SetStreaming(true)
 	}
 	if len(f.Rules) > 0 || f.Strict {
 		rules := make([]obs.SLORule, 0, len(f.Rules))

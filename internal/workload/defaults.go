@@ -1,0 +1,82 @@
+package workload
+
+// DefaultSpec is the standard "million-user" reference workload: three
+// cohorts totalling ~1M clients against three shared climate datasets on a
+// 32-rank machine with the result cache enabled.
+//
+//   - interactive: a large dashboard-style population, Poisson arrivals with
+//     a strong two-period diurnal envelope, small hot windows, short
+//     deadlines, mid priority. The zipf-skewed dataset/window popularity
+//     makes most of its queries repeat — the memo cache's bread and butter.
+//   - batch: few clients, bursty (sub-exponential gamma) arrivals, wide
+//     windows and heavy operators, no deadlines, low priority.
+//   - urgent: alerting-style traffic — weibull arrivals, tiny windows,
+//     tight deadlines, top priority; the cohort that turns scheduling
+//     mistakes into deadline drops.
+//
+// rateMul scales every cohort's arrival rate (1 ≈ 20 jobs per virtual
+// second in aggregate), horizon bounds arrival times, and maxJobs > 0 caps
+// the merged stream. The result is a plain Spec — callers may tweak it
+// before Generate.
+func DefaultSpec(seed uint64, rateMul, horizon float64, maxJobs int, policy string) Spec {
+	return Spec{
+		Seed:    seed,
+		Horizon: horizon,
+		MaxJobs: maxJobs,
+		Machine: Machine{
+			Ranks:        32,
+			RanksPerNode: 8,
+			Policy:       policy,
+			Memo:         true,
+		},
+		Datasets: []DatasetSpec{
+			{Name: "climate-a", Dims: []int64{96, 16, 16}, StripeCount: 8, StripeSize: 1 << 20},
+			{Name: "climate-b", Dims: []int64{64, 16, 16}, StripeCount: 8, StripeSize: 1 << 20},
+			{Name: "climate-c", Dims: []int64{48, 16, 16}, StripeCount: 4, StripeSize: 1 << 20},
+		},
+		Cohorts: []Cohort{
+			{
+				Name: "interactive", Class: "interactive",
+				Clients: 200_000, ClientSkew: 1.1,
+				Dist: "poisson", Rate: 10 * rateMul,
+				Envelope: Envelope{
+					{Period: 86400, Amp: 0.6},
+					{Period: 3600, Amp: 0.25, Phase: 1.0},
+				},
+				DatasetSkew: 1.2,
+				Windows:     12, WindowLen: 8, WindowSkew: 1.0,
+				Ops:        []string{"sum", "mean", "max"},
+				Ranks:      []int{2, 4},
+				DeadlineLo: 20, DeadlineHi: 60,
+				Priority:   5,
+				SecPerElem: 3e-4,
+			},
+			{
+				Name: "batch", Class: "batch",
+				Clients: 5_000, ClientSkew: 0.8,
+				Dist: "gamma", Shape: 0.7, Rate: 6 * rateMul,
+				Envelope: Envelope{
+					{Period: 86400, Amp: 0.4, Phase: 2.0},
+				},
+				DatasetSkew: 0.9,
+				Windows:     6, WindowLen: 16, WindowSkew: 0.7,
+				Ops:        []string{"variance", "hist:-40:50:32", "minloc"},
+				Ranks:      []int{4, 8},
+				Priority:   1,
+				SecPerElem: 1e-3,
+			},
+			{
+				Name: "urgent", Class: "urgent",
+				Clients: 800_000, ClientSkew: 1.3,
+				Dist: "weibull", Shape: 0.8, Rate: 4 * rateMul,
+				DatasetSkew: 1.5,
+				Windows:     4, WindowLen: 4, WindowSkew: 1.2,
+				Ops:        []string{"min", "max"},
+				Ranks:      []int{2},
+				DeadlineLo: 5, DeadlineHi: 15,
+				Priority:   8,
+				SecPerElem: 1e-4,
+			},
+		},
+	}
+}

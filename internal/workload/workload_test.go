@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallSpec is a fast spec for unit tests: a few hundred jobs, all three
+// interarrival laws, deadlines on two cohorts.
+func smallSpec(seed uint64) Spec {
+	s := DefaultSpec(seed, 1.0, 30, 0, "fifo")
+	s.Machine.Ranks = 8
+	s.Machine.RanksPerNode = 4
+	for i := range s.Cohorts {
+		s.Cohorts[i].Ranks = []int{2, 4}
+		s.Cohorts[i].Clients = 50
+	}
+	return s
+}
+
+func mustGenerate(t *testing.T, spec Spec) *Trace {
+	t.Helper()
+	tr, err := Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return tr
+}
+
+// TestGenerateDeterministic: the same spec generates the identical stream,
+// and a different seed generates a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGenerate(t, smallSpec(7))
+	b := mustGenerate(t, smallSpec(7))
+	if d := Diff(a, b, 5); d != nil {
+		t.Fatalf("same seed differs: %v", d)
+	}
+	if len(a.Jobs) == 0 {
+		t.Fatal("empty stream")
+	}
+	c := mustGenerate(t, smallSpec(8))
+	if d := Diff(a, c, 1); d == nil {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestGenerateOrderedAndShaped: arrivals are time-ordered, within horizon,
+// and every submission respects its cohort's shape choices.
+func TestGenerateOrderedAndShaped(t *testing.T) {
+	spec := smallSpec(3)
+	tr := mustGenerate(t, spec)
+	classes := map[string]bool{}
+	last := 0.0
+	for i, s := range tr.Jobs {
+		if s.T < last {
+			t.Fatalf("job %d: time %v before predecessor %v", i, s.T, last)
+		}
+		last = s.T
+		if s.T >= spec.Horizon {
+			t.Fatalf("job %d: time %v past horizon", i, s.T)
+		}
+		if s.Ranks != 2 && s.Ranks != 4 {
+			t.Fatalf("job %d: ranks %d not a cohort choice", i, s.Ranks)
+		}
+		if len(s.Start) != 3 || len(s.Count) != 3 {
+			t.Fatalf("job %d: slab rank %d/%d", i, len(s.Start), len(s.Count))
+		}
+		if !strings.HasPrefix(s.Tenant, s.Name[:strings.IndexByte(s.Name, '-')]+"/c") {
+			t.Fatalf("job %d: tenant %q does not match name %q", i, s.Tenant, s.Name)
+		}
+		if _, err := OpByCode(s.Op); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		classes[s.Class] = true
+	}
+	for _, want := range []string{"interactive", "batch", "urgent"} {
+		if !classes[want] {
+			t.Fatalf("no %q submissions in %d jobs", want, len(tr.Jobs))
+		}
+	}
+}
+
+// TestMaxJobsTruncation: MaxJobs keeps the first N submissions of the
+// untruncated stream.
+func TestMaxJobsTruncation(t *testing.T) {
+	full := mustGenerate(t, smallSpec(5))
+	if len(full.Jobs) < 20 {
+		t.Fatalf("stream too small to test truncation: %d", len(full.Jobs))
+	}
+	spec := smallSpec(5)
+	spec.MaxJobs = 20
+	cut := mustGenerate(t, spec)
+	if len(cut.Jobs) != 20 {
+		t.Fatalf("truncated to %d jobs, want 20", len(cut.Jobs))
+	}
+	full.Jobs = full.Jobs[:20]
+	if d := Diff(full, cut, 3); d != nil {
+		t.Fatalf("truncation is not a prefix: %v", d)
+	}
+}
+
+// TestZipfSkew: a skewed popularity draw concentrates mass on low indices;
+// an unskewed one does not.
+func TestZipfSkew(t *testing.T) {
+	r := newRNG(1, 0)
+	z := newZipf(100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.draw(r)]++
+	}
+	top := counts[0] + counts[1] + counts[2]
+	if top < 20000/4 {
+		t.Fatalf("zipf(1.2): top-3 of 100 items got %d/20000 draws, want heavy skew", top)
+	}
+	flat := newZipf(100, 0)
+	counts = make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[flat.draw(r)]++
+	}
+	if top := counts[0] + counts[1] + counts[2]; top > 20000/10 {
+		t.Fatalf("zipf(0): top-3 got %d/20000 draws, want ~uniform", top)
+	}
+}
+
+// TestEnvelopeModulation: the diurnal envelope shifts arrival density
+// between its peak and trough, and never goes below the floor.
+func TestEnvelopeModulation(t *testing.T) {
+	env := Envelope{{Period: 100, Amp: 0.9}}
+	peak := env.At(25)   // sin = 1
+	trough := env.At(75) // sin = -1
+	if math.Abs(peak-1.9) > 1e-12 || math.Abs(trough-0.1) > 1e-12 {
+		t.Fatalf("envelope peak/trough = %v/%v, want 1.9/0.1", peak, trough)
+	}
+	deep := Envelope{{Period: 100, Amp: 5}}
+	if v := deep.At(75); v != 0.05 {
+		t.Fatalf("envelope floor = %v, want 0.05", v)
+	}
+
+	// A single-cohort spec over one envelope period: the high-rate half
+	// must contain clearly more arrivals than the low-rate half.
+	spec := smallSpec(11)
+	spec.Horizon = 100
+	spec.Cohorts = spec.Cohorts[:1]
+	spec.Cohorts[0].Rate = 20
+	spec.Cohorts[0].Envelope = env
+	tr := mustGenerate(t, spec)
+	var first, second int
+	for _, s := range tr.Jobs {
+		if s.T < 50 {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first < second*2 {
+		t.Fatalf("envelope had no effect: %d arrivals in peak half vs %d in trough half", first, second)
+	}
+}
+
+// TestInterarrivalMeans: each law's normalized draws have mean ~1, so Rate
+// really is the aggregate arrival rate for every Dist.
+func TestInterarrivalMeans(t *testing.T) {
+	for _, c := range []Cohort{
+		{Name: "p", Dist: "poisson"},
+		{Name: "g", Dist: "gamma", Shape: 0.7},
+		{Name: "w", Dist: "weibull", Shape: 0.8},
+	} {
+		mean, err := c.meanInterarrival()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := newRNG(42, 9)
+		sum := 0.0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += c.drawInterarrival(r) / mean
+		}
+		if got := sum / n; math.Abs(got-1) > 0.02 {
+			t.Fatalf("%s: normalized mean interarrival %v, want ~1", c.Dist, got)
+		}
+	}
+}
+
+// TestOpByCode covers the histogram codec and rejection of malformed codes.
+func TestOpByCode(t *testing.T) {
+	op, err := OpByCode("hist:-40:50:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Name() != "hist32" {
+		t.Fatalf("decoded op %q, want hist32", op.Name())
+	}
+	if _, err := OpByCode("sum"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"hist:1:2", "hist:a:b:c", "hist:5:1:8", "hist:0:1:0", "nosuch"} {
+		if _, err := OpByCode(bad); err == nil {
+			t.Fatalf("OpByCode(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTraceRoundTrip: Write → Read → Write reproduces the exact bytes, and
+// the reread trace diffs clean against the original.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := mustGenerate(t, smallSpec(13))
+	var buf1 bytes.Buffer
+	if err := Write(&buf1, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(tr, got, 3); d != nil {
+		t.Fatalf("round trip changed the trace: %v", d)
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialized trace is not byte-identical")
+	}
+}
+
+// TestTraceReadRejects: corrupted traces fail loudly rather than replaying
+// wrong.
+func TestTraceReadRejects(t *testing.T) {
+	tr := mustGenerate(t, smallSpec(17))
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+
+	cases := map[string]string{
+		"empty":         "",
+		"bad schema":    `{"schema":"repro.workload.v99"}` + "\n",
+		"no machine":    lines[0] + lines[len(lines)-2],
+		"truncated":     strings.Join(lines[:len(lines)-2], ""),
+		"spliced index": lines[0] + lines[1] + lines[2] + lines[3] + lines[4] + lines[5] + lines[7],
+		"unknown line":  lines[0] + lines[1] + `{"x":1}` + "\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Read accepted a corrupt trace", name)
+		}
+	}
+}
+
+// TestDiff reports machine, dataset, count, and per-job differences.
+func TestDiff(t *testing.T) {
+	a := mustGenerate(t, smallSpec(19))
+	b := mustGenerate(t, smallSpec(19))
+	if d := Diff(a, b, 0); d != nil {
+		t.Fatalf("identical traces diff: %v", d)
+	}
+	b.Machine.Policy = "priority"
+	b.Jobs[0].Deadline = 99
+	b.Jobs = b.Jobs[:len(b.Jobs)-1]
+	d := Diff(a, b, 0)
+	if len(d) != 3 {
+		t.Fatalf("want 3 differences, got %d: %v", len(d), d)
+	}
+	if got := Diff(a, b, 1); len(got) != 1 {
+		t.Fatalf("limit=1 returned %d lines", len(got))
+	}
+}
+
+// TestValidateRejects exercises the spec validator's error paths.
+func TestValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Spec){
+		"no ranks":        func(s *Spec) { s.Machine.Ranks = 0 },
+		"no horizon":      func(s *Spec) { s.Horizon = 0 },
+		"no datasets":     func(s *Spec) { s.Datasets = nil },
+		"no cohorts":      func(s *Spec) { s.Cohorts = nil },
+		"2d dataset":      func(s *Spec) { s.Datasets[0].Dims = []int64{4, 4} },
+		"bad name":        func(s *Spec) { s.Cohorts[0].Name = "a/b" },
+		"no rate":         func(s *Spec) { s.Cohorts[0].Rate = 0 },
+		"no ops":          func(s *Spec) { s.Cohorts[0].Ops = nil },
+		"bad op":          func(s *Spec) { s.Cohorts[0].Ops = []string{"nosuch"} },
+		"wide ranks":      func(s *Spec) { s.Cohorts[0].Ranks = []int{99} },
+		"unsplittable":    func(s *Spec) { s.Cohorts[0].Ranks = []int{8}; s.Cohorts[0].WindowLen = 4 },
+		"window too long": func(s *Spec) { s.Cohorts[0].WindowLen = 1 << 20 },
+		"bad deadline":    func(s *Spec) { s.Cohorts[0].DeadlineLo = 9; s.Cohorts[0].DeadlineHi = 5 },
+		"bad dist":        func(s *Spec) { s.Cohorts[0].Dist = "pareto" },
+		"gamma shape":     func(s *Spec) { s.Cohorts[0].Dist = "gamma"; s.Cohorts[0].Shape = 0 },
+	}
+	for name, mutate := range mutations {
+		spec := smallSpec(1)
+		mutate(&spec)
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("%s: Generate accepted an invalid spec", name)
+		}
+	}
+}
