@@ -100,6 +100,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	wlSpec := fl.String("workload", "", "workload experiment: generation overrides as \"jobs=50000,rate=2,rates=0.5;1;2,horizon=600,seed=7,policy=priority\"")
 	wlOut := fl.String("trace-out", "", "workload experiment: record the generated stream as a repro.workload.v1 trace here (single base-rate run)")
 	wlIn := fl.String("trace-in", "", "workload experiment: replay this repro.workload.v1 trace instead of generating (single run)")
+	repIn := fl.String("in", "", "report experiment: analyze this recorded repro.events.v1 log (\"\" = record and report a self-demo run)")
+	repSeries := fl.String("series-in", "", "report experiment: also read this repro.series.v1 time-series log")
+	repTopK := fl.Int("topk", 0, "report experiment: size of the slowest-queued-jobs table (0 = 5)")
 	var tele obscli.Flags
 	tele.Register(fl)
 	var pf prof.Flags
@@ -144,7 +147,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg := experiments.Config{Scale: *scale, Quick: *quick, Memo: *memo, Policy: *policy,
 		ExplainJob: *explainJob, ExplainPolicies: *explainK,
-		WorkloadSpec: *wlSpec, WorkloadTraceOut: *wlOut, WorkloadTraceIn: *wlIn}
+		WorkloadSpec: *wlSpec, WorkloadTraceOut: *wlOut, WorkloadTraceIn: *wlIn,
+		ReportIn: *repIn, ReportSeriesIn: *repSeries, ReportTopK: *repTopK}
 
 	var runners []experiments.Runner
 	for _, a := range rest {

@@ -20,6 +20,7 @@ type CCJob struct {
 	Deadline float64 // seconds after submit; 0 = none
 	Priority int     // scheduling priority (see Job.Priority)
 	EstCost  float64 // estimated service seconds (see Job.EstCost)
+	Class    string  // SLO class label for telemetry (see Job.Class)
 	// Dataset names a dataset registered with Cluster.RegisterDataset.
 	Dataset string
 	VarID   int
@@ -122,6 +123,7 @@ func (c *Cluster) prepareCC(j CCJob) (*Job, *CCResult, *ccMeta) {
 		Deadline: j.Deadline,
 		Priority: j.Priority,
 		EstCost:  j.EstCost,
+		Class:    j.Class,
 		PlanKey:  shape,
 		Main: func(ctx *JobContext, r *mpi.Rank) error {
 			comm := ctx.Comm()

@@ -96,6 +96,14 @@ type Cluster struct {
 	tenantUse    map[string]float64 // rank-seconds of service charged per tenant
 	tenantWeight map[string]float64 // fair-share weights (Session.SetWeight)
 
+	// Dimensional telemetry caches (dimensional.go): labeled-family handles
+	// built once and reused, plus the per-class wait windows behind -series.
+	tenantMxCache     map[string]*tenantMetrics
+	ostBusyG, ostLatG []*obs.Gauge
+	nicTxG, nicRxG    []*obs.Gauge
+	memoG             *memoGauges
+	classWin          map[string]*waitWindow
+
 	// Decision tracing (decisions.go); all dormant unless the obs tracer has
 	// decision tracing enabled.
 	decRound int              // admission-round counter (1-based in records)
@@ -318,7 +326,12 @@ func (c *Cluster) finishObs() {
 			tenants = append(tenants, tn)
 		}
 		sort.Strings(tenants)
+		shares := m.GaugeVec("cluster_tenant_share_pct", "tenant")
 		for _, tn := range tenants {
+			shares.With(labelOrDefault(tn)).Set(100 * c.tenantUse[tn] / totUse)
+			// Deprecated name-suffix alias, kept for one release so existing
+			// BENCH/nightly greps keep working; the labeled family above is
+			// the supported form.
 			m.Gauge("cluster_tenant_share_pct_" + metricLabel(tn)).
 				Set(100 * c.tenantUse[tn] / totUse)
 		}
@@ -348,7 +361,9 @@ func (c *Cluster) mirrorTotals() {
 	if c.memo != nil {
 		// Gauges, not counters: MemoStats is a point-in-time cache picture
 		// (dashboard tile + exporter family memo_*), and gauge semantics keep
-		// the family honest if a future cache ever evicts.
+		// the family honest if a future cache ever evicts. These unlabeled
+		// mirrors are deprecated aliases of the labeled memo_events{kind}
+		// family (mirrorLabeled), kept for one release.
 		s := c.memo.stats
 		m.Gauge("memo_hits").Set(float64(s.Hits))
 		m.Gauge("memo_waiters").Set(float64(s.Waiters))
@@ -358,6 +373,7 @@ func (c *Cluster) mirrorTotals() {
 		m.Gauge("memo_invalidations").Set(float64(s.Invalidations))
 		m.Gauge("memo_evictions").Set(float64(s.Evictions))
 	}
+	c.mirrorLabeled(m)
 }
 
 // publishTelemetry is the telemetry plane's publish point: it syncs the
@@ -372,12 +388,15 @@ func (c *Cluster) publishTelemetry(now float64, queueDepth, ranksBusy int) {
 	if ot == nil {
 		return
 	}
-	live, slo := ot.Live(), ot.SLOEngine()
-	if live == nil && slo == nil {
+	live, slo, ser := ot.Live(), ot.SLOEngine(), ot.Series()
+	if live == nil && slo == nil && ser == nil {
 		return
 	}
 	c.mirrorTotals()
 	slo.Eval(ot, now)
+	if ser != nil {
+		c.sampleSeries(ser, now, queueDepth, ranksBusy)
+	}
 	if live == nil {
 		return
 	}

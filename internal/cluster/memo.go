@@ -151,12 +151,13 @@ func (c *Cluster) memoTryComplete(jr *JobResult, now float64) bool {
 		if ot := c.obs; ot != nil {
 			ot.SetThreadName(0, jr.pid-1, "job "+jr.Job.Name)
 			ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
-				obs.S("job", jr.Job.Name))
+				queuedSpanAttrs(jr)...)
 			ot.Instant(0, jr.pid-1, "memo-hit", "sched", now,
 				obs.S("job", jr.Job.Name), obs.I("bytes_saved", meta.bytes))
 			m := ot.Metrics()
 			m.Counter("cluster_jobs_completed").Inc()
 			m.Histogram("cluster_turnaround_seconds").Observe(now - jr.Submit)
+			c.tenantMx(jr).memoHits.Inc()
 		}
 		if c.decisionsOn() {
 			c.obs.Decision(c.newDecision(jr, decision.MemoHit))
@@ -330,7 +331,7 @@ func (c *Cluster) finishShared(donor, p *JobResult, kind string, now float64) {
 	}
 	if ot := c.obs; ot != nil {
 		ot.Span(0, p.pid-1, "queued", "sched", p.Submit, p.Start,
-			obs.S("job", p.Job.Name))
+			queuedSpanAttrs(p)...)
 		ot.Span(0, p.pid-1, kind, "sched", p.Start, now,
 			obs.S("job", p.Job.Name), obs.S("donor", donor.Job.Name))
 		m := ot.Metrics()

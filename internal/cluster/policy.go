@@ -274,13 +274,14 @@ func (q *Queue) Drop(i int) {
 	if ot := c.obs; ot != nil {
 		ot.SetThreadName(0, jr.pid-1, "job "+j.Name)
 		ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
-			obs.S("job", j.Name))
+			queuedSpanAttrs(jr)...)
 		ot.Instant(0, jr.pid-1, "deadline-drop", "sched", now,
 			obs.S("job", j.Name), obs.F("waited", now-jr.Submit),
 			obs.F("deadline", j.Deadline))
 		m := ot.Metrics()
 		m.Counter("cluster_jobs_dropped").Inc()
 		m.Counter("cluster_deadline_misses").Inc()
+		c.tenantMx(jr).dropped.Inc()
 	}
 	// Decision record from the same values as the deadline-drop instant
 	// above (same job, same now, same waited), so the two streams can never
@@ -386,7 +387,7 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 		ot.SetProcessName(jr.pid, fmt.Sprintf("job %d: %s", jr.pid-1, j.Name))
 		ot.SetThreadName(0, jr.pid-1, "job "+j.Name)
 		ot.Span(0, jr.pid-1, "queued", "sched", jr.Submit, now,
-			obs.S("job", j.Name))
+			queuedSpanAttrs(jr)...)
 		jr.runSpan = ot.Begin(0, jr.pid-1, "run", "sched", now,
 			obs.S("job", j.Name), obs.I("ranks", int64(len(members))),
 			obs.I("first_rank", int64(members[0])))
@@ -399,6 +400,12 @@ func (q *Queue) Admit(i int, ranks []int) *JobResult {
 		m := ot.Metrics()
 		m.Counter("cluster_jobs_admitted").Inc()
 		m.Histogram("cluster_queue_wait_seconds").Observe(now - jr.Submit)
+		mx := c.tenantMx(jr)
+		mx.admitted.Inc()
+		mx.wait.Observe(now - jr.Submit)
+		if ot.Series() != nil {
+			c.recordClassWait(j.Class, now-jr.Submit)
+		}
 	}
 	for _, wr := range members {
 		c.assign[wr].Send(ctx, 0, now)

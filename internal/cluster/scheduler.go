@@ -38,6 +38,10 @@ type Job struct {
 	// delay that reservation; "fairshare" uses it to charge the owning
 	// tenant's share at admission (trued up to actual at completion).
 	EstCost float64
+	// Class is the job's SLO class label ("batch", "interactive", ...; "" =
+	// unclassified). Scheduling ignores it; the telemetry plane dimensions
+	// per-class metrics, series wait windows, and run reports by it.
+	Class string
 	// PlanKey, when non-empty, shares the cluster plan cache registered
 	// under that key (see Cluster.PlanCache); empty gives the job a private
 	// cache.

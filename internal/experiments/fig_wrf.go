@@ -137,6 +137,7 @@ func All() []Runner {
 		{"profile-jobs", "Per-job phase breakdown + critical path (observability)", ProfileJobs},
 		{"explain", "Decision-trace counterfactual what-if replay + wait attribution", Explain},
 		{"workload", "Generative multi-tenant workload plane + versioned trace replay", Workload},
+		{"report", "Offline run-report analyzer (events + decisions + series)", ReportExp},
 	}
 }
 

@@ -120,6 +120,19 @@ func (n *Network) Node(r int) int { return r / n.params.RanksPerNode }
 // Nodes returns the number of nodes in the network.
 func (n *Network) Nodes() int { return len(n.tx) }
 
+// NICBusyTimes returns each node's cumulative injection (tx) and ejection
+// (rx) NIC busy time in virtual seconds, for load reports and the per-NIC
+// telemetry families.
+func (n *Network) NICBusyTimes() (tx, rx []float64) {
+	tx = make([]float64, len(n.tx))
+	rx = make([]float64, len(n.rx))
+	for i := range n.tx {
+		tx[i] = n.tx[i].BusyTime
+		rx[i] = n.rx[i].BusyTime
+	}
+	return tx, rx
+}
+
 // DegradeLink injects a degradation episode on every link of a node: between
 // onset and recovery, messages entering or leaving the node see the node's
 // NIC bandwidth divided by bwFactor and extraLatency added per message.

@@ -189,8 +189,18 @@ func (s *JSONLSink) Flush() error {
 // Close flushes and returns the first error seen.
 func (s *JSONLSink) Close() error { return s.Flush() }
 
+// knownEventTypes are the line types ReadEvents understands. Anything else
+// sharing the stream — decision records today, future record kinds tomorrow —
+// is skipped, so a v1 reader tolerates logs written by newer emitters.
+var knownEventTypes = map[string]bool{
+	"begin": true, "end": true, "attr": true, "span": true,
+	"instant": true, "sample": true, "alert": true,
+}
+
 // ReadEvents parses a JSONL event log produced by JSONLSink: it validates
-// the schema header and returns the events in file order.
+// the schema header and returns the events in file order. Lines whose "e"
+// type is unknown (decision records, series points, future additions) are
+// skipped; malformed JSON on any line is still an error.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -219,6 +229,15 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		// Decision records share the stream but have their own schema and
 		// reader (decision.ReadLog).
 		if decision.IsLine(sc.Bytes()) {
+			continue
+		}
+		var probe struct {
+			E string `json:"e"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			return nil, fmt.Errorf("obs: event log line %d: %w", line, err)
+		}
+		if !knownEventTypes[probe.E] {
 			continue
 		}
 		var e Event

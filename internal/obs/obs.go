@@ -84,9 +84,10 @@ type Tracer struct {
 	// sink mirrors spans/instants/counter samples as they are recorded; the
 	// live cell and SLO engine are driven by the cluster at scheduler round
 	// boundaries.
-	sink EventSink
-	live *Live
-	slo  *SLO
+	sink   EventSink
+	live   *Live
+	slo    *SLO
+	series *SeriesSink
 
 	// Decision tracing (see internal/obs/decision): opt-in, because decision
 	// records land in the event log and default-off keeps existing golden
@@ -172,6 +173,24 @@ func (t *Tracer) Live() *Live {
 		return nil
 	}
 	return t.live
+}
+
+// SetSeries installs the time-series sink the owning runtime samples one
+// SeriesPoint into per scheduler round (see series.go). The sink streams
+// and retains nothing, so it is safe under stream-through mode.
+func (t *Tracer) SetSeries(s *SeriesSink) {
+	if t == nil {
+		return
+	}
+	t.series = s
+}
+
+// Series returns the installed series sink (nil when disabled).
+func (t *Tracer) Series() *SeriesSink {
+	if t == nil {
+		return nil
+	}
+	return t.series
 }
 
 // SetSLO installs the SLO rule engine the owning runtime evaluates at

@@ -18,31 +18,71 @@ import (
 // Registry values live on the virtual clock; the /metrics endpoint (live.go)
 // serves snapshots taken at scheduler round boundaries so a scrape never
 // sees a half-updated round.
+// Labeled families (vec.go) render with real labels: one `# TYPE` line per
+// family, then one sample per child with its canonical sorted `k="v"` pairs
+// (histogram buckets put `le` last). Plain and labeled families share one
+// sorted namespace per kind.
 func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if r != nil {
-		for _, name := range sortedKeys(r.counters) {
+		for _, name := range mergedNames(r.counters, r.counterVecs) {
 			bw.WriteString("# TYPE " + name + " counter\n")
-			bw.WriteString(name + " " + fnum(r.counters[name].v) + "\n")
-		}
-		for _, name := range sortedKeys(r.gauges) {
-			bw.WriteString("# TYPE " + name + " gauge\n")
-			bw.WriteString(name + " " + fnum(r.gauges[name].v) + "\n")
-		}
-		for _, name := range sortedKeys(r.hists) {
-			h := r.hists[name]
-			bw.WriteString("# TYPE " + name + " histogram\n")
-			var cum int64
-			for i, bound := range h.bounds {
-				cum += h.counts[i]
-				bw.WriteString(name + `_bucket{le="` + fnum(bound) + `"} ` +
-					strconv.FormatInt(cum, 10) + "\n")
+			if c, ok := r.counters[name]; ok {
+				bw.WriteString(name + " " + fnum(c.v) + "\n")
+				continue
 			}
-			cum += h.counts[len(h.bounds)]
-			bw.WriteString(name + `_bucket{le="+Inf"} ` + strconv.FormatInt(cum, 10) + "\n")
-			bw.WriteString(name + "_sum " + fnum(h.sum) + "\n")
-			bw.WriteString(name + "_count " + strconv.FormatInt(h.n, 10) + "\n")
+			v := r.counterVecs[name]
+			for _, lk := range sortedKeys(v.children) {
+				bw.WriteString(name + "{" + lk + "} " + fnum(v.children[lk].v) + "\n")
+			}
+		}
+		for _, name := range mergedNames(r.gauges, r.gaugeVecs) {
+			bw.WriteString("# TYPE " + name + " gauge\n")
+			if g, ok := r.gauges[name]; ok {
+				bw.WriteString(name + " " + fnum(g.v) + "\n")
+				continue
+			}
+			v := r.gaugeVecs[name]
+			for _, lk := range sortedKeys(v.children) {
+				bw.WriteString(name + "{" + lk + "} " + fnum(v.children[lk].v) + "\n")
+			}
+		}
+		for _, name := range mergedNames(r.hists, r.histVecs) {
+			bw.WriteString("# TYPE " + name + " histogram\n")
+			if h, ok := r.hists[name]; ok {
+				writeOMHist(bw, name, "", h)
+				continue
+			}
+			v := r.histVecs[name]
+			for _, lk := range sortedKeys(v.children) {
+				writeOMHist(bw, name, lk, v.children[lk])
+			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writeOMHist renders one histogram series: cumulative buckets, _sum, and
+// _count. labels is the pre-rendered `k="v",...` pair list ("" for a plain
+// histogram); `le` is appended after it so every bucket line stays valid
+// exposition text.
+func writeOMHist(bw *bufio.Writer, name, labels string, h *Histogram) {
+	pre := name + "_bucket{"
+	if labels != "" {
+		pre += labels + ","
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		bw.WriteString(pre + `le="` + fnum(bound) + `"} ` +
+			strconv.FormatInt(cum, 10) + "\n")
+	}
+	cum += h.counts[len(h.bounds)]
+	bw.WriteString(pre + `le="+Inf"} ` + strconv.FormatInt(cum, 10) + "\n")
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	bw.WriteString(name + "_sum" + suffix + " " + fnum(h.sum) + "\n")
+	bw.WriteString(name + "_count" + suffix + " " + strconv.FormatInt(h.n, 10) + "\n")
 }

@@ -12,17 +12,19 @@ import (
 // lintPromText is a strict validator for the Prometheus text exposition
 // format as WriteOpenMetrics produces it: every sample preceded by exactly
 // one TYPE line for its family, no duplicate families, histogram buckets
-// cumulative and finished by +Inf, _count consistent with the last bucket,
-// all values parseable floats. CI additionally lints a live scrape with the
-// real OpenMetrics parser (github.com/prometheus/common/expfmt); this local
-// linter keeps the same guarantees testable without network access.
+// cumulative per label set and finished by +Inf (with `le` rendered last),
+// _count consistent with its label set's last bucket, all values parseable
+// floats. CI additionally lints a live scrape with the real OpenMetrics
+// parser (github.com/prometheus/common/expfmt); this local linter keeps the
+// same guarantees testable without network access.
 func lintPromText(b []byte) error {
 	sc := bufio.NewScanner(bytes.NewReader(b))
 	families := map[string]string{} // name -> type
 	var curFam, curType string
+	var curSeries string // current bucket label set within the histogram family
 	var lastCum float64
 	var sawInf bool
-	histCounts := map[string][2]float64{} // family -> {lastBucketCum, count}
+	histCounts := map[string][2]float64{} // family{labels} -> {lastBucketCum, count}
 	for ln := 1; sc.Scan(); ln++ {
 		line := sc.Text()
 		if line == "" {
@@ -42,7 +44,7 @@ func lintPromText(b []byte) error {
 			}
 			families[name] = typ
 			curFam, curType = name, typ
-			lastCum, sawInf = 0, false
+			curSeries, lastCum, sawInf = "\x00unset", 0, false
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -57,9 +59,13 @@ func lintPromText(b []byte) error {
 		if err != nil {
 			return fmt.Errorf("line %d: bad value %q: %v", ln, valStr, err)
 		}
-		name := series
+		name, labels := series, ""
 		if i := strings.IndexByte(series, '{'); i >= 0 {
 			name = series[:i]
+			if !strings.HasSuffix(series, "}") {
+				return fmt.Errorf("line %d: unterminated label set %q", ln, series)
+			}
+			labels = series[i+1 : len(series)-1]
 		}
 		switch curType {
 		case "counter", "gauge":
@@ -73,21 +79,39 @@ func lintPromText(b []byte) error {
 			}
 			switch {
 			case strings.HasSuffix(name, "_bucket"):
-				if !strings.Contains(series, `le="`) {
-					return fmt.Errorf("line %d: bucket without le label: %q", ln, series)
+				// `le` must be the last pair so every bucket series of one
+				// label set shares a common prefix.
+				idx := strings.LastIndex(labels, `le="`)
+				if idx < 0 || (idx > 0 && labels[idx-1] != ',') {
+					return fmt.Errorf("line %d: bucket without trailing le label: %q", ln, series)
+				}
+				key := ""
+				if idx > 0 {
+					key = labels[:idx-1]
+				}
+				if key != curSeries {
+					if curSeries != "\x00unset" && !sawInf {
+						return fmt.Errorf("line %d: histogram series %q{%s} ended without +Inf bucket",
+							ln, curFam, curSeries)
+					}
+					curSeries, lastCum, sawInf = key, 0, false
 				}
 				if val < lastCum {
 					return fmt.Errorf("line %d: bucket not cumulative (%g after %g)", ln, val, lastCum)
 				}
 				lastCum = val
-				if strings.Contains(series, `le="+Inf"`) {
+				if strings.HasSuffix(labels, `le="+Inf"`) {
 					sawInf = true
 				}
 			case strings.HasSuffix(name, "_count"):
 				if !sawInf {
 					return fmt.Errorf("line %d: histogram %q missing +Inf bucket", ln, curFam)
 				}
-				histCounts[curFam] = [2]float64{lastCum, val}
+				if labels != "" && labels != curSeries {
+					return fmt.Errorf("line %d: _count labels {%s} do not match bucket series {%s}",
+						ln, labels, curSeries)
+				}
+				histCounts[curFam+"{"+labels+"}"] = [2]float64{lastCum, val}
 			}
 		default:
 			return fmt.Errorf("line %d: sample %q before any TYPE line", ln, series)
@@ -111,6 +135,17 @@ func buildMetricsRegistry() *Registry {
 	h.Observe(0.005)
 	h.Observe(0.05)
 	h.Observe(5)
+	tv := r.CounterVec("cluster_tenant_jobs_admitted", "tenant", "class")
+	tv.With("acme", "batch").Add(5)
+	tv.With("acme", "interactive").Inc()
+	tv.With("zeta", "batch").Add(2)
+	gv := r.GaugeVec("pfs_ost_busy_seconds", "ost")
+	gv.With("0").Set(1.25)
+	gv.With("1").Set(0.5)
+	hv := r.HistogramVec("cluster_tenant_queue_wait_seconds", []float64{0.01, 0.1, 1}, "tenant", "class")
+	hv.With("acme", "batch").Observe(0.05)
+	hv.With("acme", "batch").Observe(2)
+	hv.With("zeta", "batch").Observe(0.001)
 	return r
 }
 

@@ -15,14 +15,24 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Labeled families (vec.go) and their shared cardinality cap.
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
+	labelCap    int
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
+		labelCap:    DefaultLabelCap,
 	}
 }
 
@@ -274,35 +284,105 @@ func (r *Registry) Snapshot() *Registry {
 		}
 		s.hists[name] = cp
 	}
+	s.labelCap = r.labelCap
+	for name, v := range r.counterVecs {
+		cp := &CounterVec{vecCore: v.vecCore, children: make(map[string]*Counter, len(v.children))}
+		cp.reg = s
+		for lk, c := range v.children {
+			cp.children[lk] = &Counter{v: c.v}
+		}
+		s.counterVecs[name] = cp
+	}
+	for name, v := range r.gaugeVecs {
+		cp := &GaugeVec{vecCore: v.vecCore, children: make(map[string]*Gauge, len(v.children))}
+		cp.reg = s
+		for lk, g := range v.children {
+			cp.children[lk] = &Gauge{v: g.v}
+		}
+		s.gaugeVecs[name] = cp
+	}
+	for name, v := range r.histVecs {
+		cp := &HistogramVec{vecCore: v.vecCore, bounds: v.bounds,
+			children: make(map[string]*Histogram, len(v.children))}
+		cp.reg = s
+		for lk, h := range v.children {
+			cp.children[lk] = &Histogram{
+				bounds: h.bounds,
+				counts: append([]int64(nil), h.counts...),
+				n:      h.n,
+				sum:    h.sum,
+			}
+		}
+		s.histVecs[name] = cp
+	}
 	return s
 }
 
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // Dump renders every metric as stable sorted text: counters, then gauges,
-// then histograms, each section sorted by name. Deterministic byte-for-byte
-// given the same run.
+// then histograms, each section sorted by name, with labeled-family children
+// interleaved at their family name (one `name{k="v"}` line per child, label
+// sets sorted). Deterministic byte-for-byte given the same run.
 func (r *Registry) Dump() string {
 	if r == nil {
 		return ""
 	}
 	var b strings.Builder
 	b.WriteString("# obs metrics dump (deterministic)\n")
-	for _, name := range sortedKeys(r.counters) {
-		fmt.Fprintf(&b, "counter %s %s\n", name, fnum(r.counters[name].v))
-	}
-	for _, name := range sortedKeys(r.gauges) {
-		fmt.Fprintf(&b, "gauge %s %s\n", name, fnum(r.gauges[name].v))
-	}
-	for _, name := range sortedKeys(r.hists) {
-		h := r.hists[name]
-		fmt.Fprintf(&b, "histogram %s count %d sum %s mean %s buckets", name, h.n, fnum(h.sum), fnum(h.Mean()))
-		for i, bound := range h.bounds {
-			fmt.Fprintf(&b, " le=%s:%d", fnum(bound), h.counts[i])
+	for _, name := range mergedNames(r.counters, r.counterVecs) {
+		if c, ok := r.counters[name]; ok {
+			fmt.Fprintf(&b, "counter %s %s\n", name, fnum(c.v))
+			continue
 		}
-		fmt.Fprintf(&b, " le=+Inf:%d\n", h.counts[len(h.bounds)])
+		v := r.counterVecs[name]
+		for _, lk := range sortedKeys(v.children) {
+			fmt.Fprintf(&b, "counter %s{%s} %s\n", name, lk, fnum(v.children[lk].v))
+		}
+	}
+	for _, name := range mergedNames(r.gauges, r.gaugeVecs) {
+		if g, ok := r.gauges[name]; ok {
+			fmt.Fprintf(&b, "gauge %s %s\n", name, fnum(g.v))
+			continue
+		}
+		v := r.gaugeVecs[name]
+		for _, lk := range sortedKeys(v.children) {
+			fmt.Fprintf(&b, "gauge %s{%s} %s\n", name, lk, fnum(v.children[lk].v))
+		}
+	}
+	for _, name := range mergedNames(r.hists, r.histVecs) {
+		if h, ok := r.hists[name]; ok {
+			dumpHist(&b, name, h)
+			continue
+		}
+		v := r.histVecs[name]
+		for _, lk := range sortedKeys(v.children) {
+			dumpHist(&b, name+"{"+lk+"}", v.children[lk])
+		}
 	}
 	return b.String()
+}
+
+func dumpHist(b *strings.Builder, name string, h *Histogram) {
+	fmt.Fprintf(b, "histogram %s count %d sum %s mean %s buckets", name, h.n, fnum(h.sum), fnum(h.Mean()))
+	for i, bound := range h.bounds {
+		fmt.Fprintf(b, " le=%s:%d", fnum(bound), h.counts[i])
+	}
+	fmt.Fprintf(b, " le=+Inf:%d\n", h.counts[len(h.bounds)])
+}
+
+// mergedNames returns the union of plain and vec family names, sorted.
+// checkVecName guarantees the two maps are disjoint.
+func mergedNames[A, B any](plain map[string]A, vecs map[string]B) []string {
+	out := make([]string, 0, len(plain)+len(vecs))
+	for k := range plain {
+		out = append(out, k)
+	}
+	for k := range vecs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Labeled metric families ("vecs"): a CounterVec/GaugeVec/HistogramVec is one
+// metric name plus a fixed set of label keys, fanned out into child series by
+// label values — per-tenant queue wait, per-OST busy time, per-NIC load.
+//
+// Design rules, pinned by tests:
+//
+//   - Deterministic rendering. Label keys are sorted once at family creation
+//     and every child is keyed by its canonical `k1="v1",k2="v2"` rendering,
+//     so Dump/WriteOpenMetrics output is a pure function of the recorded
+//     values — byte-identical across identical runs regardless of With()
+//     call order.
+//   - Hard cardinality cap. A registry-wide per-family cap (SetLabelCap,
+//     default DefaultLabelCap) bounds the child count; once a family is
+//     full, With() for a NEW label set returns a nil handle (whose methods
+//     no-op) and increments the obs_labels_dropped_total overflow counter —
+//     an unbounded label value (job names, client ids) degrades telemetry
+//     instead of memory.
+//   - Cached handles on hot paths. With() builds the canonical key, so it
+//     allocates; callers on per-request paths must call it once and retain
+//     the returned handle (the pfs client and cluster scheduler do). The
+//     retained handle's Add/Set/Observe are allocation-free, and the nil
+//     handle from a nil registry or a capped family is too.
+type vecCore struct {
+	name string
+	keys []string // label keys, sorted
+	perm []int    // keys[i] was caller position perm[i]
+	reg  *Registry
+}
+
+// DefaultLabelCap is the per-family child cap a fresh registry starts with.
+// It comfortably covers the static hardware dimensions (156 OSTs, one NIC
+// pair per node) while bounding unbounded ones (tenants at million-user
+// scale).
+const DefaultLabelCap = 1024
+
+// LabelsDroppedCounter is the overflow counter incremented once per With()
+// call that lands on a full family's unseen label set.
+const LabelsDroppedCounter = "obs_labels_dropped_total"
+
+func newVecCore(reg *Registry, name string, keys []string) vecCore {
+	if len(keys) == 0 {
+		panic("obs: vec " + name + " needs at least one label key")
+	}
+	perm := make([]int, len(keys))
+	for i := range perm {
+		perm[i] = i
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Sort(&keyPermSort{keys: sorted, perm: perm})
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic("obs: vec " + name + " has duplicate label key " + sorted[i])
+		}
+	}
+	return vecCore{name: name, keys: sorted, perm: perm, reg: reg}
+}
+
+type keyPermSort struct {
+	keys []string
+	perm []int
+}
+
+func (s *keyPermSort) Len() int           { return len(s.keys) }
+func (s *keyPermSort) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *keyPermSort) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// rules: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// labelKey renders the canonical child key `k1="v1",k2="v2"` with keys in
+// sorted order. values arrive in the caller's declaration order; perm maps
+// sorted key position -> caller position.
+func (c *vecCore) labelKey(values []string) string {
+	if len(values) != len(c.keys) {
+		panic(fmt.Sprintf("obs: vec %s wants %d label values, got %d",
+			c.name, len(c.keys), len(values)))
+	}
+	var b strings.Builder
+	for i, k := range c.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[c.perm[i]]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// full reports whether the family is at the registry's cardinality cap and
+// charges the overflow counter when it is.
+func (c *vecCore) full(n int) bool {
+	if n < c.reg.labelCap {
+		return false
+	}
+	c.reg.Counter(LabelsDroppedCounter).Inc()
+	return true
+}
+
+// sameKeys reports whether the caller-order keys match this family's.
+func (c *vecCore) sameKeys(keys []string) bool {
+	if len(keys) != len(c.keys) {
+		return false
+	}
+	for i, pos := range c.perm {
+		if keys[pos] != c.keys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct {
+	vecCore
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (in the key
+// order the family was declared with), creating it on first use. Returns a
+// nil (no-op) handle when the family is at the cardinality cap, charging
+// obs_labels_dropped_total. Allocates; cache the handle on hot paths.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	lk := v.labelKey(values)
+	c := v.children[lk]
+	if c == nil {
+		if v.full(len(v.children)) {
+			return nil
+		}
+		c = &Counter{}
+		v.children[lk] = c
+	}
+	return c
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct {
+	vecCore
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label values (see
+// CounterVec.With for cap and allocation behavior).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	lk := v.labelKey(values)
+	g := v.children[lk]
+	if g == nil {
+		if v.full(len(v.children)) {
+			return nil
+		}
+		g = &Gauge{}
+		v.children[lk] = g
+	}
+	return g
+}
+
+// HistogramVec is a labeled histogram family; every child shares the bucket
+// bounds fixed at family creation.
+type HistogramVec struct {
+	vecCore
+	bounds   []float64
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label values (see
+// CounterVec.With for cap and allocation behavior).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	lk := v.labelKey(values)
+	h := v.children[lk]
+	if h == nil {
+		if v.full(len(v.children)) {
+			return nil
+		}
+		h = &Histogram{bounds: v.bounds, counts: make([]int64, len(v.bounds)+1)}
+		v.children[lk] = h
+	}
+	return h
+}
+
+// CounterVec returns the named labeled counter family, creating it on first
+// use with the given label keys. The name must not collide with a plain
+// metric, and later calls must pass the same keys.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if v := r.counterVecs[name]; v != nil {
+		if !v.sameKeys(keys) {
+			panic("obs: counter vec " + name + " redeclared with different label keys")
+		}
+		return v
+	}
+	r.checkVecName(name)
+	v := &CounterVec{vecCore: newVecCore(r, name, keys), children: make(map[string]*Counter)}
+	r.counterVecs[name] = v
+	return v
+}
+
+// GaugeVec returns the named labeled gauge family, creating it on first use.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	if v := r.gaugeVecs[name]; v != nil {
+		if !v.sameKeys(keys) {
+			panic("obs: gauge vec " + name + " redeclared with different label keys")
+		}
+		return v
+	}
+	r.checkVecName(name)
+	v := &GaugeVec{vecCore: newVecCore(r, name, keys), children: make(map[string]*Gauge)}
+	r.gaugeVecs[name] = v
+	return v
+}
+
+// HistogramVec returns the named labeled histogram family, creating it on
+// first use with the given bucket bounds (DefBuckets when nil) and label
+// keys.
+func (r *Registry) HistogramVec(name string, bounds []float64, keys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if v := r.histVecs[name]; v != nil {
+		if !v.sameKeys(keys) {
+			panic("obs: histogram vec " + name + " redeclared with different label keys")
+		}
+		return v
+	}
+	r.checkVecName(name)
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	v := &HistogramVec{vecCore: newVecCore(r, name, keys), bounds: bounds,
+		children: make(map[string]*Histogram)}
+	r.histVecs[name] = v
+	return v
+}
+
+// checkVecName rejects a vec name already taken by a plain metric (or a vec
+// of another kind): one name maps to exactly one exposition family.
+func (r *Registry) checkVecName(name string) {
+	if _, ok := r.counters[name]; ok {
+		panic("obs: vec name " + name + " already used by a plain counter")
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic("obs: vec name " + name + " already used by a plain gauge")
+	}
+	if _, ok := r.hists[name]; ok {
+		panic("obs: vec name " + name + " already used by a plain histogram")
+	}
+	if _, ok := r.counterVecs[name]; ok {
+		panic("obs: vec name " + name + " already used by a counter vec")
+	}
+	if _, ok := r.gaugeVecs[name]; ok {
+		panic("obs: vec name " + name + " already used by a gauge vec")
+	}
+	if _, ok := r.histVecs[name]; ok {
+		panic("obs: vec name " + name + " already used by a histogram vec")
+	}
+}
+
+// SetLabelCap replaces the per-family cardinality cap (default
+// DefaultLabelCap). Applies immediately to every family; lowering it below a
+// family's current child count freezes that family (existing children stay
+// live, new label sets are dropped).
+func (r *Registry) SetLabelCap(n int) {
+	if r == nil || n < 1 {
+		return
+	}
+	r.labelCap = n
+}
+
+// CounterVecValue looks up one child's value without creating family or
+// child. Values arrive in the family's declaration order.
+func (r *Registry) CounterVecValue(name string, values ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	v, ok := r.counterVecs[name]
+	if !ok {
+		return 0, false
+	}
+	c, ok := v.children[v.labelKey(values)]
+	if !ok {
+		return 0, false
+	}
+	return c.v, true
+}
+
+// GaugeVecValue looks up one child's value without creating family or child.
+func (r *Registry) GaugeVecValue(name string, values ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		return 0, false
+	}
+	g, ok := v.children[v.labelKey(values)]
+	if !ok {
+		return 0, false
+	}
+	return g.v, true
+}

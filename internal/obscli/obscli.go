@@ -1,10 +1,11 @@
 // Package obscli wires the telemetry plane (internal/obs) into a CLI: it
-// registers the shared flag set (-events, -serve, -dash, -slo, -slo-strict,
-// -explain), attaches the requested sinks to a tracer before the run, and
-// tears them down — flushing the event log, rendering the final dashboard
-// frame, reporting SLO violations, printing the per-job wait attribution —
-// after it. Both ccexp and ccrun use it, so the two commands expose
-// identical telemetry surfaces.
+// registers the shared flag set (-events, -series, -serve, -dash, -slo,
+// -slo-strict, -explain, -report), attaches the requested sinks to a tracer
+// before the run, and tears them down — flushing the event and series logs,
+// rendering the final dashboard frame, reporting SLO violations, printing
+// the per-job wait attribution, generating the offline run report — after
+// it. Both ccexp and ccrun use it, so the two commands expose identical
+// telemetry surfaces.
 package obscli
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/decision"
+	"repro/internal/report"
 )
 
 // RuleList collects repeated -slo flags.
@@ -35,18 +37,22 @@ func (l *RuleList) Set(v string) error {
 // Flags is the telemetry flag set shared by the CLIs.
 type Flags struct {
 	Events  string
+	Series  string
 	Stream  bool
 	Serve   string
 	Dash    bool
 	Rules   RuleList
 	Strict  bool
 	Explain bool
+	Report  string
 }
 
 // Register installs the telemetry flags on fl.
 func (f *Flags) Register(fl *flag.FlagSet) {
 	fl.StringVar(&f.Events, "events", "",
 		"write the structured JSONL event log here (byte-identical across identical runs)")
+	fl.StringVar(&f.Series, "series", "",
+		"write the round-aligned repro.series.v1 time-series log here (queue depth, ranks busy, per-OST utilization, per-class wait quantiles; byte-identical across identical runs; composes with -stream)")
 	fl.BoolVar(&f.Stream, "stream", false,
 		"stream spans/samples/decisions through to -events without retaining them in memory (bounded-memory event logging for very large runs; the log bytes are unchanged, but -trace and -explain need retained state and conflict)")
 	fl.StringVar(&f.Serve, "serve", "",
@@ -59,20 +65,28 @@ func (f *Flags) Register(fl *flag.FlagSet) {
 		"evaluate SLO rules during the run and exit nonzero if any fired")
 	fl.BoolVar(&f.Explain, "explain", false,
 		"record scheduler decision traces (repro.decisions.v1; written into -events and served at /decisions) and print the per-job wait attribution after the run")
+	fl.StringVar(&f.Report, "report", "",
+		"after the run, render the offline run report (makespan attribution, per-tenant SLO table, slow-job blame, OST heat) from the -events log into this file; reads -series too when set")
 }
 
 // Any reports whether any telemetry flag was set — the signal to install an
 // obs.Tracer even when -trace/-metrics did not ask for one.
 func (f *Flags) Any() bool {
-	return f.Events != "" || f.Serve != "" || f.Dash || len(f.Rules) > 0 ||
-		f.Strict || f.Explain
+	return f.Events != "" || f.Series != "" || f.Serve != "" || f.Dash ||
+		len(f.Rules) > 0 || f.Strict || f.Explain || f.Report != ""
 }
 
-// Validate rejects flag combinations that cannot work: -stream keeps no
+// Validate rejects flag combinations that cannot work: -report is an
+// offline pass over the -events log, so it needs one; -stream keeps no
 // in-memory state, so everything that reads the tracer's stores after the
 // run (-explain attribution, the /decisions snapshot via -serve) conflicts,
-// and without -events there would be nowhere to stream to.
+// and without -events there would be nowhere to stream to. -series
+// deliberately composes with -stream: the series sink writes each point
+// straight to disk and retains nothing.
 func (f *Flags) Validate() error {
+	if f.Report != "" && f.Events == "" {
+		return fmt.Errorf("-report needs -events (the report is rendered from the recorded event log)")
+	}
 	if !f.Stream {
 		return nil
 	}
@@ -98,6 +112,8 @@ const dashInterval = 250 * time.Millisecond
 type Plane struct {
 	sink       *obs.JSONLSink
 	eventsFile *os.File
+	series     *obs.SeriesSink
+	seriesFile *os.File
 	live       *obs.Live
 	slo        *obs.SLO
 	ln         net.Listener
@@ -106,13 +122,17 @@ type Plane struct {
 	stderr     io.Writer
 	ot         *obs.Tracer
 	explain    bool
+	eventsPath string
+	seriesPath string
+	reportPath string
 }
 
 // Attach installs the requested telemetry components on ot and starts the
 // background consumers (HTTP server, dashboard ticker). On error everything
 // already opened is torn down.
 func (f *Flags) Attach(ot *obs.Tracer, stderr io.Writer) (*Plane, error) {
-	p := &Plane{stderr: stderr, ot: ot, explain: f.Explain}
+	p := &Plane{stderr: stderr, ot: ot, explain: f.Explain,
+		eventsPath: f.Events, seriesPath: f.Series, reportPath: f.Report}
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,6 +143,9 @@ func (f *Flags) Attach(ot *obs.Tracer, stderr io.Writer) (*Plane, error) {
 	fail := func(err error) (*Plane, error) {
 		if p.eventsFile != nil {
 			p.eventsFile.Close()
+		}
+		if p.seriesFile != nil {
+			p.seriesFile.Close()
 		}
 		if p.ln != nil {
 			p.ln.Close()
@@ -137,6 +160,15 @@ func (f *Flags) Attach(ot *obs.Tracer, stderr io.Writer) (*Plane, error) {
 		p.eventsFile = file
 		p.sink = obs.NewJSONLSink(file)
 		ot.SetSink(p.sink)
+	}
+	if f.Series != "" {
+		file, err := os.Create(f.Series)
+		if err != nil {
+			return fail(err)
+		}
+		p.seriesFile = file
+		p.series = obs.NewSeriesSink(file)
+		ot.SetSeries(p.series)
 	}
 	if f.Stream {
 		ot.SetStreaming(true)
@@ -211,6 +243,20 @@ func (p *Plane) Finish() ([]obs.SLOViolation, error) {
 			err = fmt.Errorf("events: %w", err)
 		}
 	}
+	if p.series != nil {
+		serr := p.series.Close()
+		if cerr := p.seriesFile.Close(); serr == nil {
+			serr = cerr
+		}
+		if serr != nil && err == nil {
+			err = fmt.Errorf("series: %w", serr)
+		}
+	}
+	if p.reportPath != "" && err == nil {
+		if rerr := p.writeReport(); rerr != nil && err == nil {
+			err = fmt.Errorf("report: %w", rerr)
+		}
+	}
 	viol := p.slo.Violations()
 	for _, v := range viol {
 		fmt.Fprintf(p.stderr, "(%s)\n", v)
@@ -221,6 +267,23 @@ func (p *Plane) Finish() ([]obs.SLOViolation, error) {
 		}
 	}
 	return viol, err
+}
+
+// writeReport renders the offline run report from the just-closed event
+// (and series) logs into the -report file.
+func (p *Plane) writeReport() error {
+	f, err := os.Create(p.reportPath)
+	if err != nil {
+		return err
+	}
+	err = report.Run(f, p.eventsPath, p.seriesPath, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(p.stderr, "(report: written to %s)\n", p.reportPath)
+	}
+	return err
 }
 
 // ServeForever blocks when -serve was given, so the final frame stays

@@ -1,0 +1,110 @@
+package obscli
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		f       Flags
+		wantErr string // "" = valid
+	}{
+		{"zero", Flags{}, ""},
+		{"events only", Flags{Events: "ev.jsonl"}, ""},
+		{"series only", Flags{Series: "se.jsonl"}, ""},
+		{"report with events", Flags{Events: "ev.jsonl", Report: "rep.txt"}, ""},
+		{"report without events", Flags{Report: "rep.txt"}, "-report needs -events"},
+		{"stream without events", Flags{Stream: true}, "-stream needs -events"},
+		{"stream with events", Flags{Events: "ev.jsonl", Stream: true}, ""},
+		{"series composes with stream", Flags{Events: "ev.jsonl", Stream: true, Series: "se.jsonl"}, ""},
+		{"report composes with stream", Flags{Events: "ev.jsonl", Stream: true, Report: "rep.txt"}, ""},
+		{"stream vs explain", Flags{Events: "ev.jsonl", Stream: true, Explain: true}, "-stream and -explain conflict"},
+		{"stream vs serve", Flags{Events: "ev.jsonl", Stream: true, Serve: ":0"}, "-stream and -serve conflict"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestAnyIncludesSeriesAndReport(t *testing.T) {
+	if (&Flags{}).Any() {
+		t.Fatal("zero Flags should not be Any")
+	}
+	if !(&Flags{Series: "se.jsonl"}).Any() {
+		t.Fatal("-series alone must install a tracer")
+	}
+	if !(&Flags{Events: "ev.jsonl", Report: "rep.txt"}).Any() {
+		t.Fatal("-report must install a tracer")
+	}
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	var f Flags
+	fl := flag.NewFlagSet("test", flag.ContinueOnError)
+	fl.SetOutput(io.Discard)
+	f.Register(fl)
+	if err := fl.Parse([]string{
+		"-events", "ev.jsonl", "-series", "se.jsonl", "-report", "rep.txt", "-stream",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Events != "ev.jsonl" || f.Series != "se.jsonl" || f.Report != "rep.txt" || !f.Stream {
+		t.Fatalf("parsed flags: %+v", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+// TestAttachFinishWritesSeriesAndReport drives the full plane lifecycle
+// without a cluster: attach with -events/-series/-report, emit one span and
+// one series point through the tracer, finish, and check all three files.
+func TestAttachFinishWritesSeriesAndReport(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		Events: filepath.Join(dir, "ev.jsonl"),
+		Series: filepath.Join(dir, "se.jsonl"),
+		Report: filepath.Join(dir, "rep.txt"),
+	}
+	ot := obs.New()
+	p, err := f.Attach(ot, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ot.Series() == nil {
+		t.Fatal("series sink not installed on tracer")
+	}
+	ot.Span(0, 0, "queued", "sched", 0, 1.5, obs.S("job", "j0"), obs.S("tenant", "t0"))
+	ot.Series().Sample(obs.SeriesPoint{Round: 1, T: 1.5, QueueDepth: 1, RanksBusy: 2, RanksTotal: 4})
+	if _, err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := os.ReadFile(f.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"run report", "series points: 1", "t0"} {
+		if !strings.Contains(string(rep), want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

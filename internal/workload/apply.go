@@ -90,6 +90,7 @@ func SubmitAll(c *cluster.Cluster, tr *Trace) ([]Submitted, error) {
 			Deadline:   s.Deadline,
 			Priority:   s.Priority,
 			EstCost:    s.EstCost,
+			Class:      s.Class,
 			Dataset:    s.Dataset,
 			Slab:       slabOf(s),
 			SplitDim:   s.SplitDim,
